@@ -1,0 +1,94 @@
+(** The paper's published numbers, used as reference columns in the
+    reproduction reports (DESIGN.md §4 documents the reconstruction of
+    Fig. 5's per-bar values from the figure and its caption). *)
+
+type fig5_row = {
+  bench : string;  (** benchmark id *)
+  omp : float option;
+  hip_1080 : float option;
+  hip_2080 : float option;
+  oneapi_a10 : float option;  (** None = not synthesizable in the paper *)
+  oneapi_s10 : float option;
+  auto_target : string;  (** winning target family of the Auto-Selected bar *)
+}
+
+(** Fig. 5: hotspot speedups vs the single-thread reference. *)
+let fig5 : fig5_row list =
+  [
+    {
+      bench = "rush_larsen";
+      omp = Some 28.0;
+      hip_1080 = Some 63.0;
+      hip_2080 = Some 98.0;
+      oneapi_a10 = None;
+      oneapi_s10 = None;
+      auto_target = "CPU+GPU";
+    };
+    {
+      bench = "nbody";
+      omp = Some 30.0;
+      hip_1080 = Some 337.0;
+      hip_2080 = Some 751.0;
+      oneapi_a10 = Some 1.1;
+      oneapi_s10 = Some 1.4;
+      auto_target = "CPU+GPU";
+    };
+    {
+      bench = "bezier";
+      omp = Some 28.0;
+      hip_1080 = Some 63.0;
+      hip_2080 = Some 67.0;
+      oneapi_a10 = Some 23.0;
+      oneapi_s10 = Some 27.0;
+      auto_target = "CPU+GPU";
+    };
+    {
+      bench = "adpredictor";
+      omp = Some 29.0;
+      hip_1080 = Some 10.0;
+      hip_2080 = Some 10.0;
+      oneapi_a10 = Some 14.0;
+      oneapi_s10 = Some 32.0;
+      auto_target = "CPU+FPGA";
+    };
+    {
+      bench = "kmeans";
+      omp = Some 29.0;
+      hip_1080 = Some 19.0;
+      hip_2080 = Some 24.0;
+      oneapi_a10 = Some 7.0;
+      oneapi_s10 = Some 13.0;
+      auto_target = "multi-thread CPU";
+    };
+  ]
+
+type table1_row = {
+  t1_bench : string;
+  t1_omp : float option;  (** added LOC, % of the reference *)
+  t1_hip : float option;  (** same for both GPUs in the paper *)
+  t1_a10 : float option;
+  t1_s10 : float option;
+  t1_total : float option;  (** all five designs *)
+}
+
+(** Table I: added lines of code per design, % of the reference source.
+    Rush Larsen's FPGA designs are excluded (unsynthesizable). *)
+let table1 : table1_row list =
+  [
+    { t1_bench = "rush_larsen"; t1_omp = Some 0.4; t1_hip = Some 6.0;
+      t1_a10 = None; t1_s10 = None; t1_total = None };
+    { t1_bench = "nbody"; t1_omp = Some 2.0; t1_hip = Some 37.0;
+      t1_a10 = Some 52.0; t1_s10 = Some 69.0; t1_total = Some 197.0 };
+    { t1_bench = "bezier"; t1_omp = Some 2.0; t1_hip = Some 26.0;
+      t1_a10 = Some 34.0; t1_s10 = Some 42.0; t1_total = Some 130.0 };
+    { t1_bench = "adpredictor"; t1_omp = Some 2.0; t1_hip = Some 31.0;
+      t1_a10 = Some 42.0; t1_s10 = Some 63.0; t1_total = Some 169.0 };
+    { t1_bench = "kmeans"; t1_omp = Some 4.0; t1_hip = Some 81.0;
+      t1_a10 = Some 101.0; t1_s10 = Some 147.0; t1_total = Some 414.0 };
+  ]
+
+(** Fig. 6 crossover price ratios (FPGA $/h over GPU $/h at which the two
+    platforms cost the same). *)
+let fig6_crossovers = [ ("adpredictor", 3.2); ("bezier", 0.4) ]
+
+let opt_str = function Some v -> Printf.sprintf "%.1f" v | None -> "n/a"

@@ -1,0 +1,1 @@
+bin/debug_cmd.ml: Analysis Benchmarks Devices Format List Printf Psa String

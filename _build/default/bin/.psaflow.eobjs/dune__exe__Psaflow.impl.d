@@ -1,0 +1,1 @@
+bin/psaflow.ml: Arg Benchmarks Cmd Cmdliner Codegen Debug_cmd Devices Format List Psa String Term

@@ -1,0 +1,157 @@
+(** psaflow — command-line driver for the PSA-flow toolchain.
+
+    Subcommands:
+    - [run BENCH]: run the PSA-flow (informed by default; [--uninformed]
+      generates all five designs) and print the flow log and timed
+      results;
+    - [list]: list benchmarks and the task repository;
+    - [export BENCH DESIGN]: print a generated design's source;
+    - [analyze BENCH]: print the hotspot, kernel features and the Fig. 3
+      strategy decision. *)
+
+open Cmdliner
+
+let bench_arg =
+  let doc =
+    "Benchmark application: " ^ String.concat ", " Benchmarks.Registry.ids
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let x_arg =
+  let doc = "FLOPs/byte threshold X of the PSA strategy (Fig. 3)." in
+  Arg.(value & opt float 2.0 & info [ "x-threshold"; "x" ] ~doc)
+
+let print_results results =
+  Format.printf "@.%a" Psa.Report.pp_results results;
+  match Psa.Report.best results with
+  | Some b ->
+      Format.printf "@.best: %s (%.1fx)@." b.design.name b.speedup
+  | None -> Format.printf "@.no feasible design@."
+
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let uninformed =
+    Arg.(
+      value & flag
+      & info [ "uninformed" ]
+          ~doc:"Select all paths at branch point A (generate all designs).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~doc:"Cost budget in dollars per run (Fig. 3 feedback).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the flow event log.")
+  in
+  let run bench uninformed budget x verbose =
+    let app = Benchmarks.Registry.find bench in
+    let ctx = Benchmarks.Bench_app.context ~x_threshold:x ?budget app in
+    Format.printf "running %s PSA-flow on %s (profile n=%d, eval n=%d)@."
+      (if uninformed then "uninformed" else "informed")
+      app.name app.profile_n app.eval_n;
+    let outcome =
+      if uninformed then Psa.Std_flow.run_uninformed ~x_threshold:x ctx
+      else Psa.Std_flow.run_informed ~x_threshold:x ?budget ctx
+    in
+    if verbose then
+      List.iter (fun l -> Format.printf "  %s@." l) outcome.log;
+    print_results outcome.results
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the PSA-flow on a benchmark.")
+    Term.(const run $ bench_arg $ uninformed $ budget $ x_arg $ verbose)
+
+let list_cmd =
+  let run () =
+    Format.printf "benchmarks (the paper's five):@.";
+    List.iter
+      (fun (b : Benchmarks.Bench_app.t) ->
+        Format.printf "  %-12s %s — %s@." b.id b.name b.description)
+      Benchmarks.Registry.all;
+    Format.printf "@.extra applications:@.";
+    List.iter
+      (fun (b : Benchmarks.Bench_app.t) ->
+        Format.printf "  %-12s %s — %s@." b.id b.name b.description)
+      Benchmarks.Registry.extras;
+    Format.printf "@.task repository (Fig. 4):@.%a" Psa.Report.pp_repository ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmarks and the design-flow task repository.")
+    Term.(const run $ const ())
+
+let analyze_cmd =
+  let run bench x =
+    let app = Benchmarks.Registry.find bench in
+    let ctx = Benchmarks.Bench_app.context ~x_threshold:x app in
+    let ctxs = Psa.Flow.run Psa.Std_flow.target_independent ctx in
+    List.iter
+      (fun c ->
+        List.iter (fun l -> Format.printf "  %s@." l) (Psa.Context.events c);
+        let e = Psa.Strategy.fig3_explain c in
+        Format.printf "@.strategy: %a@." Psa.Strategy.pp_explanation e)
+      ctxs
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the target-independent analyses and print the PSA decision.")
+    Term.(const run $ bench_arg $ x_arg)
+
+let export_cmd =
+  let design_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DESIGN"
+          ~doc:
+            "Design name, e.g. omp_epyc7543, hip_rtx2080ti, oneapi_stratix10.")
+  in
+  let run bench design_name =
+    let app = Benchmarks.Registry.find bench in
+    let ctx = Benchmarks.Bench_app.context app in
+    let outcome = Psa.Std_flow.run_uninformed ctx in
+    match
+      List.find_opt
+        (fun (r : Devices.Simulate.result) -> r.design.name = design_name)
+        outcome.results
+    with
+    | Some r -> print_string (Codegen.Design.export r.design)
+    | None ->
+        Format.eprintf "no design %s; available: %s@." design_name
+          (String.concat ", "
+             (List.map
+                (fun (r : Devices.Simulate.result) -> r.design.name)
+                outcome.results));
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print the generated source of one design.")
+    Term.(const run $ bench_arg $ design_arg)
+
+let debug_cmd_t =
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:"Print model breakdowns and features for calibration.")
+    Term.(const Debug_cmd.run $ bench_arg)
+
+let flow_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of ASCII.")
+  in
+  let run dot =
+    let flow = Psa.Std_flow.flow () in
+    if dot then print_string (Psa.Report.flow_to_dot flow)
+    else print_string (Psa.Report.flow_to_ascii flow)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Render the standard PSA-flow (the paper's Fig. 4) as a diagram.")
+    Term.(const run $ dot)
+
+let () =
+  let info = Cmd.info "psaflow" ~doc:"Auto-generating diverse heterogeneous designs." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; list_cmd; analyze_cmd; export_cmd; debug_cmd_t; flow_cmd ]))

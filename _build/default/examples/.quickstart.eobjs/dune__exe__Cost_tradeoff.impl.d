@@ -1,0 +1,1 @@
+examples/cost_tradeoff.ml: Benchmarks Devices List Option Printf Psa

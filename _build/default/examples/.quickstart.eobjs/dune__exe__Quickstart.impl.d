@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Format List Minic Psa String

@@ -1,0 +1,1 @@
+examples/unroll_dse_demo.ml: Benchmarks Codegen Devices Dse List Printf Psa String

@@ -1,0 +1,1 @@
+examples/unroll_dse_demo.mli:

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Ast List Minic Minic_interp

@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Ast Minic Minic_interp

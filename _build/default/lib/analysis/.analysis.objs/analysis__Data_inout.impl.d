@@ -1,0 +1,1 @@
+lib/analysis/data_inout.ml: Array Ast Format List Minic Minic_interp

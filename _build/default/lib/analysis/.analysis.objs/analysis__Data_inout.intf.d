@@ -1,0 +1,1 @@
+lib/analysis/data_inout.mli: Ast Format Minic

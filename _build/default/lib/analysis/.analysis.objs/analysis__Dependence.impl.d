@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Artisan Ast Hashtbl List Minic Option Pretty

@@ -1,0 +1,1 @@
+lib/analysis/extrapolate.ml: Features Float Intensity List Opcount

@@ -1,0 +1,1 @@
+lib/analysis/features.ml: Alias Array Artisan Ast Dependence Float Hashtbl Intensity List Minic Minic_interp Opcount Option Trip_count

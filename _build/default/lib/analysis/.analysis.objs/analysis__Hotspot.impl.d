@@ -1,0 +1,1 @@
+lib/analysis/hotspot.ml: Artisan Ast Dependence Format List Minic Minic_interp Option

@@ -1,0 +1,1 @@
+lib/analysis/hotspot.mli: Artisan Ast Format Minic

@@ -1,0 +1,1 @@
+lib/analysis/intensity.ml: Array Artisan Ast Float Hashtbl List Minic Minic_interp

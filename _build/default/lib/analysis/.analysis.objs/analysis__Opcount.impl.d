@@ -1,0 +1,1 @@
+lib/analysis/opcount.ml: Artisan Ast Hashtbl Intensity List Minic

@@ -1,0 +1,1 @@
+lib/analysis/trip_count.ml: Ast Hashtbl Minic Minic_interp

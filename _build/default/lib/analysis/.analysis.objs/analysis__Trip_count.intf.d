@@ -1,0 +1,1 @@
+lib/analysis/trip_count.mli: Ast Hashtbl Minic Minic_interp

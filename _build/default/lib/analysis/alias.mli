@@ -1,0 +1,26 @@
+(** Dynamic pointer alias analysis: ensures kernel pointer arguments do
+    not reference overlapping memory (the paper's offload precondition),
+    from the per-argument touched ranges the focused interpreter run
+    records. *)
+
+open Minic
+
+type overlap = {
+  arg_a : string;
+  arg_b : string;
+  region : int;
+  range_a : int * int;
+  range_b : int * int;
+}
+
+type t = {
+  kernel : string;
+  no_alias : bool;
+  overlaps : overlap list;
+}
+
+(** Analyse already-collected kernel observations. *)
+val of_kernel_obs : kernel:string -> Minic_interp.Profile.kernel_obs -> t
+
+(** Run the program with [kernel] as focus and analyse. *)
+val analyze : Ast.program -> kernel:string -> t

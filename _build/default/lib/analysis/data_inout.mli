@@ -1,0 +1,28 @@
+(** Dynamic data in/out (data movement) analysis: per pointer argument,
+    the bytes an accelerator offload would have to move — elements whose
+    first kernel access is a read (host->device) and elements written
+    (device->host), accumulated over every kernel invocation. *)
+
+open Minic
+
+type arg = { name : string; bytes_in : int; bytes_out : int }
+
+type t = {
+  kernel : string;
+  calls : int;
+  args : arg list;
+  total_in : int;
+  total_out : int;
+  kernel_cycles : float;  (** single-thread CPU cycles in the kernel *)
+  kernel_flops : int;
+}
+
+val total : t -> int
+
+(** Bytes moved per kernel invocation. *)
+val bytes_per_call : t -> float
+
+(** Analyse data movement of calls to [kernel]. *)
+val analyze : Ast.program -> kernel:string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,271 @@
+(** Static loop dependence analysis.
+
+    Classifies each canonical [for] loop as parallel or not by examining
+    writes performed in its body:
+
+    - writes to variables declared inside the body (or to nested loop
+      indices) are private and create no dependence;
+    - a compound assignment ([+=], [*=], ...) to a non-private scalar is a
+      {e reduction}: a removable dependence (OpenMP reduction clause, GPU
+      atomics, FPGA accumulator replication);
+    - a write to [a\[e\]] where [e] is affine in the loop index with a
+      non-zero coefficient partitions the array across iterations and is
+      independent, {e provided} every read of [a] in the body uses a
+      syntactically identical index expression (or [a] is write-only);
+    - a compound assignment to [a\[e\]] where [e] does {e not} depend on
+      the loop index is an {e array reduction} — the pattern targeted by
+      the paper's "Remove Array += Dependency" task;
+    - anything else is a loop-carried dependence.
+
+    The affinity test is syntactic and intentionally conservative-simple;
+    it is exact for the access patterns of the five benchmark
+    applications (documented limitation, see DESIGN.md). *)
+
+open Minic
+
+type dep_kind =
+  | Scalar_reduction of Ast.assign_op
+  | Array_reduction of Ast.assign_op
+  | Carried of string  (** human-readable reason *)
+
+type dep = {
+  var : string;  (** written variable or array *)
+  kind : dep_kind;
+  sid : int;  (** statement performing the write *)
+}
+
+type loop_info = {
+  loop_sid : int;
+  index : string;
+  parallel : bool;  (** no non-reduction carried dependence *)
+  parallel_with_reductions : bool;  (** parallel once reductions handled *)
+  reductions : dep list;
+  carried : dep list;
+}
+
+let dep_kind_to_string = function
+  | Scalar_reduction _ -> "scalar reduction"
+  | Array_reduction _ -> "array reduction"
+  | Carried r -> "carried (" ^ r ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Expression utilities                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec mentions_var name (e : Ast.expr) =
+  match e.enode with
+  | Ast.Var v -> v = name
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ -> false
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> mentions_var name a
+  | Ast.Binop (_, a, b) | Ast.Index (a, b) ->
+      mentions_var name a || mentions_var name b
+  | Ast.Call (_, args) -> List.exists (mentions_var name) args
+
+(** [affine_coeff i e] is [Some c] when [e] = [c*i + rest] with [rest]
+    independent of [i] and [c] a compile-time integer; [None] otherwise.
+    Array reads inside [e] make it non-affine (indirect indexing). *)
+let rec affine_coeff index (e : Ast.expr) : int option =
+  match e.enode with
+  | Ast.Var v when v = index -> Some 1
+  | Ast.Var _ | Ast.Int_lit _ -> Some 0
+  | Ast.Float_lit _ | Ast.Bool_lit _ -> Some 0
+  | Ast.Unop (Ast.Neg, a) -> Option.map (fun c -> -c) (affine_coeff index a)
+  | Ast.Binop (Ast.Add, a, b) -> (
+      match (affine_coeff index a, affine_coeff index b) with
+      | Some ca, Some cb -> Some (ca + cb)
+      | _ -> None)
+  | Ast.Binop (Ast.Sub, a, b) -> (
+      match (affine_coeff index a, affine_coeff index b) with
+      | Some ca, Some cb -> Some (ca - cb)
+      | _ -> None)
+  | Ast.Binop (Ast.Mul, a, b) -> (
+      (* constant * affine or affine * constant *)
+      match (a.enode, affine_coeff index b) with
+      | Ast.Int_lit k, Some cb -> Some (k * cb)
+      | _ -> (
+          match (affine_coeff index a, b.enode) with
+          | Some ca, Ast.Int_lit k -> Some (ca * k)
+          | _ -> None))
+  | Ast.Cast (_, a) -> affine_coeff index a
+  | _ -> if mentions_var index e then None else Some 0
+
+(** Canonical string of an index expression, for syntactic comparison. *)
+let index_fingerprint e = Pretty.expr_to_string e
+
+(* ------------------------------------------------------------------ *)
+(* Collecting accesses                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type access = {
+  acc_array : string;  (** base variable of the [Index]; "" when complex *)
+  acc_index : Ast.expr;
+  acc_write : bool;
+  acc_compound : Ast.assign_op option;  (** [Some op] for compound writes *)
+  acc_sid : int;
+}
+
+let base_array_name (e : Ast.expr) =
+  match e.enode with Ast.Var v -> v | _ -> ""
+
+(** All array accesses and scalar writes in a block, with the set of
+    private names (declared inside, or nested loop indices). *)
+let collect_body (body : Ast.block) =
+  let privates = Hashtbl.create 16 in
+  let accesses = ref [] in
+  let scalar_writes = ref [] in
+  let add_reads_of_expr sid (e : Ast.expr) =
+    Ast.iter_expr
+      (fun sub ->
+        match sub.enode with
+        | Ast.Index (a, i) ->
+            accesses :=
+              {
+                acc_array = base_array_name a;
+                acc_index = i;
+                acc_write = false;
+                acc_compound = None;
+                acc_sid = sid;
+              }
+              :: !accesses
+        | _ -> ())
+      e
+  in
+  let visit (s : Ast.stmt) =
+    (match s.snode with
+    | Ast.Decl d -> Hashtbl.replace privates d.dname ()
+    | Ast.For (h, _) -> Hashtbl.replace privates h.index ()
+    | _ -> ());
+    (match s.snode with
+    | Ast.Assign (Ast.Lvar v, op, _) ->
+        scalar_writes := (v, op, s.sid) :: !scalar_writes
+    | Ast.Assign (Ast.Lindex (a, i), op, _) ->
+        accesses :=
+          {
+            acc_array = base_array_name a;
+            acc_index = i;
+            acc_write = true;
+            acc_compound = (if op = Ast.Set then None else Some op);
+            acc_sid = s.sid;
+          }
+          :: !accesses;
+        add_reads_of_expr s.sid i
+    | _ -> ());
+    List.iter (add_reads_of_expr s.sid) (Ast.stmt_exprs s)
+  in
+  List.iter (Ast.iter_stmt visit) body;
+  (privates, List.rev !accesses, List.rev !scalar_writes)
+
+(* ------------------------------------------------------------------ *)
+(* Loop classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Analyse one canonical [for] loop statement. *)
+let analyze_loop (s : Ast.stmt) : loop_info =
+  match s.snode with
+  | Ast.For (h, body) ->
+      let privates, accesses, scalar_writes = collect_body body in
+      let is_private v = Hashtbl.mem privates v in
+      let reductions = ref [] in
+      let carried = ref [] in
+      (* scalar writes to non-private variables *)
+      List.iter
+        (fun (v, op, sid) ->
+          if (not (is_private v)) && v <> h.index then
+            match op with
+            | Ast.Set ->
+                carried :=
+                  { var = v; kind = Carried "scalar overwritten each iteration"; sid }
+                  :: !carried
+            | op -> reductions := { var = v; kind = Scalar_reduction op; sid } :: !reductions)
+        scalar_writes;
+      (* array writes *)
+      let writes = List.filter (fun a -> a.acc_write) accesses in
+      let reads = List.filter (fun a -> not a.acc_write) accesses in
+      List.iter
+        (fun w ->
+          match affine_coeff h.index w.acc_index with
+          | Some c when c <> 0 ->
+              (* partitioned by the loop index: check read indices of the
+                 same array agree syntactically *)
+              let fp = index_fingerprint w.acc_index in
+              let conflicting =
+                List.exists
+                  (fun r ->
+                    r.acc_array = w.acc_array
+                    && index_fingerprint r.acc_index <> fp
+                    && mentions_var h.index r.acc_index)
+                  reads
+                || List.exists
+                     (fun r ->
+                       r.acc_array = w.acc_array
+                       && (not (mentions_var h.index r.acc_index))
+                       && index_fingerprint r.acc_index <> fp)
+                     reads
+              in
+              if conflicting then
+                carried :=
+                  {
+                    var = w.acc_array;
+                    kind = Carried "array written and read at differing indices";
+                    sid = w.acc_sid;
+                  }
+                  :: !carried
+          | Some _ (* index independent of loop variable *) -> (
+              match w.acc_compound with
+              | Some op ->
+                  reductions :=
+                    { var = w.acc_array; kind = Array_reduction op; sid = w.acc_sid }
+                    :: !reductions
+              | None ->
+                  carried :=
+                    {
+                      var = w.acc_array;
+                      kind = Carried "array element overwritten each iteration";
+                      sid = w.acc_sid;
+                    }
+                    :: !carried)
+          | None -> (
+              (* indirect or non-affine index *)
+              match w.acc_compound with
+              | Some op ->
+                  reductions :=
+                    { var = w.acc_array; kind = Array_reduction op; sid = w.acc_sid }
+                    :: !reductions
+              | None ->
+                  carried :=
+                    {
+                      var = w.acc_array;
+                      kind = Carried "non-affine write index";
+                      sid = w.acc_sid;
+                    }
+                    :: !carried))
+        writes;
+      let reductions = List.rev !reductions and carried = List.rev !carried in
+      {
+        loop_sid = s.sid;
+        index = h.index;
+        parallel = carried = [] && reductions = [];
+        parallel_with_reductions = carried = [];
+        reductions;
+        carried;
+      }
+  | _ -> invalid_arg "Dependence.analyze_loop: not a for loop"
+
+(** Analyse every [for] loop of the function named [fname]. *)
+let analyze_function (p : Ast.program) fname : loop_info list =
+  Artisan.Query.(stmts_in ~where:is_for p fname)
+  |> List.map (fun (m : Artisan.Query.match_ctx) -> analyze_loop m.stmt)
+
+(** Info for the outermost loop of a function, when it exists. *)
+let outermost (p : Ast.program) fname : loop_info option =
+  match
+    Artisan.Query.(stmts_in ~where:(is_for &&& is_outermost_loop) p fname)
+  with
+  | m :: _ -> Some (analyze_loop m.Artisan.Query.stmt)
+  | [] -> None
+
+(** Inner loops (non-outermost) of a function with their info. *)
+let inner_loops (p : Ast.program) fname : loop_info list =
+  Artisan.Query.(
+    stmts_in ~where:(is_for &&& not_ is_outermost_loop) p fname)
+  |> List.map (fun (m : Artisan.Query.match_ctx) -> analyze_loop m.stmt)

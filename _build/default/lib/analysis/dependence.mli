@@ -1,0 +1,54 @@
+(** Static loop dependence analysis.
+
+    Classifies each canonical [for] loop as parallel or not: private
+    (inside-declared) writes are free; compound assignments to shared
+    scalars or to array elements whose index does not advance with the
+    loop are {e reductions} (removable dependences — the "Remove Array
+    += Dependency" targets); everything else is a carried dependence.
+    The affinity test is syntactic and exact for the benchmark
+    applications' access patterns (see DESIGN.md). *)
+
+open Minic
+
+type dep_kind =
+  | Scalar_reduction of Ast.assign_op
+  | Array_reduction of Ast.assign_op
+  | Carried of string  (** human-readable reason *)
+
+type dep = {
+  var : string;  (** written variable or array *)
+  kind : dep_kind;
+  sid : int;  (** statement performing the write *)
+}
+
+type loop_info = {
+  loop_sid : int;
+  index : string;
+  parallel : bool;  (** no dependences at all *)
+  parallel_with_reductions : bool;  (** parallel once reductions handled *)
+  reductions : dep list;
+  carried : dep list;
+}
+
+val dep_kind_to_string : dep_kind -> string
+
+(** [true] iff the expression reads the variable. *)
+val mentions_var : string -> Ast.expr -> bool
+
+(** [affine_coeff i e] is [Some c] when [e] = [c*i + rest] with [rest]
+    independent of [i] and [c] a compile-time integer; [None] otherwise
+    (including indirect indexing through array reads). *)
+val affine_coeff : string -> Ast.expr -> int option
+
+(** Analyse one canonical [for] loop statement.
+    @raise Invalid_argument on non-loop statements *)
+val analyze_loop : Ast.stmt -> loop_info
+
+(** Analyse every [for] loop of the named function. *)
+val analyze_function : Ast.program -> string -> loop_info list
+
+(** Info for the function's outermost loop, when it exists. *)
+val outermost : Ast.program -> string -> loop_info option
+
+(** Inner (non-outermost) loops of the function. *)
+val inner_loops : Ast.program -> string -> loop_info list

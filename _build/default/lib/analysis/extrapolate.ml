@@ -1,0 +1,102 @@
+(** Workload extrapolation of kernel features.
+
+    The interpreter profiles benchmarks at tractable problem sizes; the
+    paper's evaluation runs at hardware scale.  Following standard
+    performance-model practice, each numeric feature is fitted to a power
+    law [v(n) = v1 * (n/n1)^e] from two profiled sizes and evaluated at
+    the target size.  Structural features (parallelism, register
+    pressure, unrollability) are size-invariant and taken from the first
+    profile.  DESIGN.md documents this substitution. *)
+
+let fit_exponent ~n1 ~n2 v1 v2 =
+  if v1 <= 0.0 || v2 <= 0.0 || n1 = n2 then 0.0
+  else log (v2 /. v1) /. log (float_of_int n2 /. float_of_int n1)
+
+(** [scale ~n1 ~n2 ~n v1 v2] evaluates the power law fitted through
+    [(n1, v1)] and [(n2, v2)] at [n]. *)
+let scale ~n1 ~n2 ~n v1 v2 =
+  if v1 <= 0.0 then 0.0
+  else
+    let e = fit_exponent ~n1 ~n2 v1 v2 in
+    v1 *. ((float_of_int n /. float_of_int n1) ** e)
+
+let scale_int ~n1 ~n2 ~n v1 v2 =
+  int_of_float
+    (Float.round (scale ~n1 ~n2 ~n (float_of_int v1) (float_of_int v2)))
+
+(** Extrapolate a feature vector to problem size [n] from profiles taken
+    at sizes [n1] and [n2] (of the same benchmark, so the two vectors are
+    structurally identical). *)
+let features ~n1 (f1 : Features.t) ~n2 (f2 : Features.t) ~n : Features.t =
+  let s v1 v2 = scale ~n1 ~n2 ~n v1 v2 in
+  let inner_loops =
+    List.map2
+      (fun (a : Features.inner_loop) (b : Features.inner_loop) ->
+        {
+          a with
+          il_mean_trip = s a.il_mean_trip b.il_mean_trip;
+          il_iters_per_outer = s a.il_iters_per_outer b.il_iters_per_outer;
+        })
+      f1.inner_loops f2.inner_loops
+  in
+  let args =
+    List.map2
+      (fun (a : Features.arg_feat) (b : Features.arg_feat) ->
+        {
+          a with
+          Features.af_footprint =
+            scale_int ~n1 ~n2 ~n a.af_footprint b.af_footprint;
+          af_bytes_in = s a.af_bytes_in b.af_bytes_in;
+          af_bytes_out = s a.af_bytes_out b.af_bytes_out;
+        })
+      f1.args f2.args
+  in
+  (* per-outer-iteration op census grows with inner-loop trip counts *)
+  let per_iter_growth =
+    let w1 = f1.flops_per_call /. Float.max 1.0 f1.outer_trip in
+    let w2 = f2.flops_per_call /. Float.max 1.0 f2.outer_trip in
+    let wn = s w1 w2 in
+    if w1 > 0.0 then wn /. w1 else 1.0
+  in
+  let intensity =
+    let flops = s f1.intensity.Intensity.flops f2.intensity.Intensity.flops in
+    let bytes = s f1.intensity.Intensity.bytes f2.intensity.Intensity.bytes in
+    {
+      Intensity.flops;
+      bytes;
+      flops_per_byte = (if bytes > 0.0 then flops /. bytes else Float.infinity);
+    }
+  in
+  (* transfer totals: sum the per-argument fits rather than fitting the
+     total, so one saturating argument (a lookup table already fully
+     touched at profile scale) cannot skew the others' growth *)
+  let bytes_in_per_call =
+    List.fold_left (fun acc (a : Features.arg_feat) -> acc +. a.af_bytes_in)
+      0.0 args
+  in
+  let bytes_out_per_call =
+    List.fold_left (fun acc (a : Features.arg_feat) -> acc +. a.af_bytes_out)
+      0.0 args
+  in
+  {
+    f1 with
+    calls =
+      max 1
+        (scale_int ~n1 ~n2 ~n f1.calls f2.calls);
+    outer_trip = s f1.outer_trip f2.outer_trip;
+    flops_per_call = s f1.flops_per_call f2.flops_per_call;
+    sfu_per_call = s f1.sfu_per_call f2.sfu_per_call;
+    bytes_accessed_per_call =
+      s f1.bytes_accessed_per_call f2.bytes_accessed_per_call;
+    bytes_in_per_call;
+    bytes_out_per_call;
+    cpu_cycles_per_call = s f1.cpu_cycles_per_call f2.cpu_cycles_per_call;
+    ops_per_iter = Opcount.scale per_iter_growth f1.ops_per_iter;
+    (* hardware census is structural: fixed-bound weights do not change
+       with problem size *)
+    inner_loops;
+    args;
+    inner_read_bytes =
+      scale_int ~n1 ~n2 ~n f1.inner_read_bytes f2.inner_read_bytes;
+    intensity;
+  }

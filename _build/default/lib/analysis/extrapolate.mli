@@ -1,0 +1,21 @@
+(** Workload extrapolation of kernel features.
+
+    The interpreter profiles at tractable sizes; the paper's evaluation
+    runs at hardware scale.  Each numeric feature is fitted to a power
+    law from two profiled sizes and evaluated at the target size;
+    structural features are size-invariant.  Validated against direct
+    profiling in the test suite. *)
+
+(** Exponent of the power law through [(n1, v1)] and [(n2, v2)]
+    (0 for non-positive values or equal sizes). *)
+val fit_exponent : n1:int -> n2:int -> float -> float -> float
+
+(** Evaluate the fitted power law at [n]. *)
+val scale : n1:int -> n2:int -> n:int -> float -> float -> float
+
+val scale_int : n1:int -> n2:int -> n:int -> int -> int -> int
+
+(** Extrapolate a feature vector to problem size [n] from two profiles of
+    the same benchmark (structurally identical vectors). *)
+val features :
+  n1:int -> Features.t -> n2:int -> Features.t -> n:int -> Features.t

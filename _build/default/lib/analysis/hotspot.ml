@@ -1,0 +1,102 @@
+(** Hotspot loop detection — dynamic design-flow task.
+
+    Mirrors the paper: the task instruments candidate loops with loop
+    timers ([__timer_start]/[__timer_stop] calls around each loop),
+    executes the instrumented code, and identifies the most
+    time-consuming loop as the acceleration candidate.
+
+    Selection starts at the most expensive outermost loop of [main] and
+    descends while the current loop is not parallelisable (per the static
+    dependence analysis) and a directly nested loop captures most of its
+    time — so an application whose top-level loop is a sequential driver
+    (K-Means' convergence iterations, an ODE solver's timestepping)
+    offloads the parallel work loop inside it, invoked once per driver
+    iteration, which is how the paper's designs transfer data per kernel
+    call. *)
+
+open Minic
+
+type t = {
+  loop_sid : int;  (** node id of the hotspot loop in the original AST *)
+  func_name : string;  (** function containing the loop *)
+  cycles : float;  (** virtual cycles spent in the loop (inclusive) *)
+  total_cycles : float;  (** whole-program cycles *)
+  share : float;  (** fraction of program time spent in the loop *)
+  descended_from : int list;  (** enclosing loops skipped as sequential *)
+}
+
+let pp fmt h =
+  Format.fprintf fmt "hotspot loop #%d in %s: %.3g cycles (%.1f%% of total)"
+    h.loop_sid h.func_name h.cycles (100.0 *. h.share)
+
+(** Fraction of a parent loop's time a nested loop must capture for the
+    selection to descend into it. *)
+let descend_threshold = 0.5
+
+(** All [for] loops of [func] (any depth) with their contexts. *)
+let candidates ?(func = "main") (p : Ast.program) =
+  Artisan.Query.(stmts_in ~where:is_for p func)
+
+(** Instrument each candidate loop with a timer keyed by its node id. *)
+let instrument ?func (p : Ast.program) =
+  List.fold_left
+    (fun acc (m : Artisan.Query.match_ctx) ->
+      Artisan.Instrument.wrap_with_timer ~target:m.stmt.sid ~key:m.stmt.sid acc)
+    p (candidates ?func p)
+
+(** Detect the hotspot loop of [p] by instrumented execution.
+    Returns [None] when [func] contains no loop. *)
+let detect ?(func = "main") (p : Ast.program) : t option =
+  let cands = candidates ~func p in
+  if cands = [] then None
+  else
+    let instrumented = instrument ~func p in
+    let run = Minic_interp.Eval.run instrumented in
+    let total_cycles = run.profile.cycles in
+    let cycles_of sid = Minic_interp.Profile.timer_total run.profile sid in
+    (* direct loop children: candidate whose nearest enclosing loop is the
+       given loop *)
+    let nearest_enclosing_loop (m : Artisan.Query.match_ctx) =
+      List.find_opt Artisan.Query.is_stmt_loop m.path
+      |> Option.map (fun (s : Ast.stmt) -> s.sid)
+    in
+    let children sid =
+      List.filter (fun m -> nearest_enclosing_loop m = Some sid) cands
+    in
+    let top_level =
+      List.filter (fun m -> nearest_enclosing_loop m = None) cands
+    in
+    let pick ms =
+      List.fold_left
+        (fun best (m : Artisan.Query.match_ctx) ->
+          let c = cycles_of m.stmt.sid in
+          match best with
+          | Some (_, bc) when bc >= c -> best
+          | _ -> Some (m, c))
+        None ms
+    in
+    match pick top_level with
+    | None -> None
+    | Some (start, _) ->
+        let rec descend (m : Artisan.Query.match_ctx) skipped =
+          let info = Dependence.analyze_loop m.stmt in
+          if info.parallel_with_reductions then (m, skipped)
+          else
+            match pick (children m.stmt.sid) with
+            | Some (child, child_cycles)
+              when child_cycles
+                   >= descend_threshold *. cycles_of m.stmt.sid ->
+                descend child (m.stmt.sid :: skipped)
+            | _ -> (m, skipped)
+        in
+        let chosen, skipped = descend start [] in
+        let cycles = cycles_of chosen.stmt.sid in
+        Some
+          {
+            loop_sid = chosen.stmt.sid;
+            func_name = chosen.func.fname;
+            cycles;
+            total_cycles;
+            share = (if total_cycles > 0.0 then cycles /. total_cycles else 0.0);
+            descended_from = List.rev skipped;
+          }

@@ -1,0 +1,33 @@
+(** Hotspot loop detection — dynamic design-flow task.
+
+    Instruments candidate loops with timers, executes the program, and
+    identifies the most time-consuming loop as the acceleration
+    candidate, descending through sequential driver loops (convergence
+    iterations, ODE timestepping) to the parallel work loop inside. *)
+
+open Minic
+
+type t = {
+  loop_sid : int;  (** node id of the hotspot loop in the original AST *)
+  func_name : string;
+  cycles : float;  (** virtual cycles spent in the loop (inclusive) *)
+  total_cycles : float;
+  share : float;  (** fraction of program time spent in the loop *)
+  descended_from : int list;  (** enclosing loops skipped as sequential *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** Fraction of a parent loop's time a nested loop must capture for the
+    selection to descend into it. *)
+val descend_threshold : float
+
+(** All candidate loops of [func] (default ["main"]), any depth. *)
+val candidates : ?func:string -> Ast.program -> Artisan.Query.match_ctx list
+
+(** Instrument each candidate loop with a timer keyed by its node id. *)
+val instrument : ?func:string -> Ast.program -> Ast.program
+
+(** Detect the hotspot loop by instrumented execution; [None] when the
+    function contains no loop. *)
+val detect : ?func:string -> Ast.program -> t option

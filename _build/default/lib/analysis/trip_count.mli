@@ -1,0 +1,28 @@
+(** Dynamic loop trip-count analysis: per-loop invocation and min/mean/max
+    iteration statistics from an instrumented run, keyed by the loop
+    statement's node id. *)
+
+open Minic
+
+type stat = {
+  loop_sid : int;
+  invocations : int;
+  total_iterations : int;
+  min_trip : int;
+  max_trip : int;
+  mean_trip : float;
+  fixed : bool;  (** every invocation ran the same number of iterations *)
+}
+
+type t = (int, stat) Hashtbl.t
+
+(** Extract trip counts from an existing profile. *)
+val of_profile : Minic_interp.Profile.t -> t
+
+(** Run the program and collect trip counts of every loop. *)
+val analyze : Ast.program -> t
+
+val find : t -> int -> stat option
+
+(** Mean trip count of the loop with id [sid], 0 if it never ran. *)
+val mean : t -> int -> float

@@ -1,0 +1,1 @@
+lib/benchmarks/adpredictor.ml: Bench_app Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/bezier.ml: Bench_app Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/jacobi.ml: Bench_app Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/kmeans.ml: Bench_app Printf

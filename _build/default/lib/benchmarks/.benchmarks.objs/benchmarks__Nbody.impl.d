@@ -1,0 +1,1 @@
+lib/benchmarks/nbody.ml: Bench_app Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Adpredictor Bench_app Bezier Jacobi Kmeans List Nbody Rush_larsen

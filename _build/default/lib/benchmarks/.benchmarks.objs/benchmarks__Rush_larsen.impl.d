@@ -1,0 +1,1 @@
+lib/benchmarks/rush_larsen.ml: Bench_app Printf

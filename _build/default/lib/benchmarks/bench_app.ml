@@ -1,0 +1,26 @@
+(** Common shape of a benchmark application: a MiniC source generator
+    parameterised by problem size, plus the sizes used for profiling,
+    power-law fitting and paper-scale evaluation. *)
+
+type t = {
+  id : string;  (** short key, e.g. ["nbody"] *)
+  name : string;  (** paper name, e.g. ["N-Body Simulation"] *)
+  source : n:int -> string;  (** MiniC source at problem size [n] *)
+  profile_n : int;  (** size the flow profiles at *)
+  secondary_n : int;  (** second size for power-law fitting *)
+  eval_n : int;  (** paper-scale size features are extrapolated to *)
+  description : string;
+}
+
+let program (b : t) ~n = Minic.Parser.parse_program (b.source ~n)
+
+(** Fresh PSA-flow context for this benchmark, wired for workload
+    extrapolation. *)
+let context ?x_threshold ?budget (b : t) : Psa.Context.t =
+  Psa.Context.make ~benchmark:b.id ~profile_n:b.profile_n
+    ~secondary:(b.secondary_n, program b ~n:b.secondary_n)
+    ~eval_n:b.eval_n ?x_threshold ?budget
+    (program b ~n:b.profile_n)
+
+(** The reference program at profiling size (Table I's LOC baseline). *)
+let reference (b : t) = program b ~n:b.profile_n

@@ -1,0 +1,110 @@
+(** Bezier Surface Generation.
+
+    Evaluates an animated bicubic-style Bezier surface on a g x g grid of
+    parameter points: per frame, every grid point accumulates the tensor
+    product of Bernstein basis polynomials over an nc x nc control net —
+    the paper's "complex multi-nested inner loop structure".  The control
+    net size is a runtime value, so the inner loops cannot fully unroll
+    and the Fig. 3 strategy maps the (compute-bound, parallel) hotspot to
+    the GPU.  The frame loop is a sequential driver: the surface kernel
+    is offloaded once per frame. *)
+
+let source ~n =
+  Printf.sprintf
+    {|
+int main() {
+  int g = %d;
+  int frames = 3;
+  int nc = 8;
+  double cx[nc * nc];
+  double cy[nc * nc];
+  double cz[nc * nc];
+  double binom[nc];
+  double surfx[g * g];
+  double surfy[g * g];
+  double surfz[g * g];
+
+  // control net
+  for (int e = 0; e < nc * nc; e++) {
+    cx[e] = rand01();
+    cy[e] = rand01();
+    cz[e] = 2.0 * rand01() - 1.0;
+  }
+  // binomial coefficients, row nc-1 of pascal's triangle
+  binom[0] = 1.0;
+  for (int k = 1; k < nc; k++) {
+    binom[k] = binom[k - 1] * (double)(nc - k) / (double)k;
+  }
+
+  for (int f = 0; f < frames; f++) {
+    // surface evaluation over the parameter grid (the hotspot)
+    for (int p = 0; p < g * g; p++) {
+      int ui = p / g;
+      int vi = p %% g;
+      double u = ((double)ui + 0.5) / (double)g;
+      double v = ((double)vi + 0.5) / (double)g;
+      double sx = 0.0;
+      double sy = 0.0;
+      double sz = 0.0;
+      for (int a = 0; a < nc; a++) {
+        double fa = binom[a] * pow(u, (double)a) * pow(1.0 - u, (double)(nc - 1 - a));
+        for (int b = 0; b < nc; b++) {
+          double fb = binom[b] * pow(v, (double)b) * pow(1.0 - v, (double)(nc - 1 - b));
+          double w = fa * fb;
+          sx += w * cx[a * nc + b];
+          sy += w * cy[a * nc + b];
+          sz += w * cz[a * nc + b];
+        }
+      }
+      surfx[p] = sx;
+      surfy[p] = sy;
+      surfz[p] = sz;
+    }
+    // animate the control net between frames
+    for (int e = 0; e < nc * nc; e++) {
+      cz[e] = cz[e] + 0.01 * sin(0.3 * (double)f + 0.1 * (double)e);
+    }
+  }
+
+  // mesh quality report: bounding box and mean patch height
+  double check = 0.0;
+  for (int p = 0; p < g * g; p++) {
+    check += surfx[p] + surfy[p] + surfz[p];
+  }
+  double zmin = 1000000.0;
+  double zmax = 0.0 - 1000000.0;
+  double zmean = 0.0;
+  for (int p = 0; p < g * g; p++) {
+    zmin = fmin(zmin, surfz[p]);
+    zmax = fmax(zmax, surfz[p]);
+    zmean += surfz[p];
+  }
+  zmean = zmean / (double)(g * g);
+  // surface roughness along the u direction
+  double rough = 0.0;
+  for (int p = 0; p < g * g - 1; p++) {
+    double dz = surfz[p + 1] - surfz[p];
+    rough += dz * dz;
+  }
+  print_float(check);
+  print_float(zmin);
+  print_float(zmax);
+  print_float(zmean);
+  print_float(rough);
+  return 0;
+}
+|}
+    n
+
+let app : Bench_app.t =
+  {
+    id = "bezier";
+    name = "Bezier Surface Generation";
+    source;
+    profile_n = 14;
+    secondary_n = 20;
+    eval_n = 40;
+    description =
+      "animated Bezier surface over an nc x nc control net; complex \
+       multi-nested runtime-bound inner loops, compute-bound";
+  }

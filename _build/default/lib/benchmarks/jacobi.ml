@@ -1,0 +1,54 @@
+(** Jacobi-style Gauss-Seidel sweep — an extra (non-paper) application
+    that exercises the Fig. 3 strategy's terminal leaf.
+
+    The in-place sweep reads each cell's left neighbour written in the
+    same iteration: a genuine loop-carried dependence.  Combined with a
+    memory-bound profile (one add and one multiply per 16 transferred
+    bytes), no target profits: the strategy answers "terminate without
+    modifying the input", the paper's fourth outcome. *)
+
+let source ~n =
+  Printf.sprintf
+    {|
+int main() {
+  int n = %d;
+  int sweeps = 4;
+  double grid[n];
+  double rhs[n];
+
+  for (int i = 0; i < n; i++) {
+    grid[i] = rand01();
+    rhs[i] = 0.01 * rand01();
+  }
+
+  for (int s = 0; s < sweeps; s++) {
+    // in-place sweep: reads the value written at i-1 this very sweep,
+    // so iterations cannot run in parallel
+    for (int i = 1; i < n; i++) {
+      grid[i] = 0.5 * (grid[i - 1] + grid[i]) + rhs[i];
+    }
+  }
+
+  double check = 0.0;
+  for (int i = 0; i < n; i++) {
+    check += grid[i];
+  }
+  print_float(check);
+  return 0;
+}
+|}
+    n
+
+let app : Bench_app.t =
+  {
+    id = "jacobi";
+    name = "Gauss-Seidel Sweep (extra)";
+    source;
+    profile_n = 4096;
+    secondary_n = 8192;
+    eval_n = 4_000_000;
+    description =
+      "sequential in-place relaxation sweep; memory-bound with a true \
+       loop-carried dependence — the PSA strategy's 'no target profits' \
+       terminal case";
+  }

@@ -1,0 +1,123 @@
+(** K-Means Classification.
+
+    Lloyd's algorithm: a sequential convergence loop drives a parallel
+    assignment pass (each point finds its nearest centroid and
+    accumulates into per-cluster sums — array reductions, the "Remove
+    Array += Dependency" target) followed by a cheap centroid update.
+    The assignment hotspot is memory-bound (FLOPs/B below the X
+    threshold), so the Fig. 3 strategy selects the multi-thread CPU
+    branch — the best performer, as in the paper. *)
+
+(* K = 3 clusters, D = 48 dimensions (compile-time literals so the
+   per-centroid loops are fixed; the memory-bound character comes from
+   streaming the D-dimensional points). *)
+
+let source ~n =
+  Printf.sprintf
+    {|
+int main() {
+  int n = %d;
+  int iterations = 10;
+  double x[n * 48];
+  double cent[144];
+  double sums[144];
+  double counts[3];
+  int assign[n];
+
+  for (int i = 0; i < n * 48; i++) {
+    x[i] = rand01();
+  }
+  for (int z = 0; z < 144; z++) {
+    cent[z] = rand01();
+  }
+
+  for (int it = 0; it < iterations; it++) {
+    for (int z = 0; z < 144; z++) {
+      sums[z] = 0.0;
+    }
+    for (int c = 0; c < 3; c++) {
+      counts[c] = 0.0;
+    }
+
+    // assignment + accumulation pass (the hotspot)
+    for (int i = 0; i < n; i++) {
+      double bestd = 1.0e30;
+      int best = 0;
+      for (int c = 0; c < 3; c++) {
+        double d2 = 0.0;
+        for (int d = 0; d < 48; d++) {
+          double diff = x[i * 48 + d] - cent[c * 48 + d];
+          d2 += diff * diff;
+        }
+        if (d2 < bestd) {
+          bestd = d2;
+          best = c;
+        }
+      }
+      assign[i] = best;
+      for (int d = 0; d < 48; d++) {
+        sums[best * 48 + d] += x[i * 48 + d];
+      }
+      counts[best] += 1.0;
+    }
+
+    // centroid update
+    for (int c = 0; c < 3; c++) {
+      if (counts[c] > 0.0) {
+        for (int d = 0; d < 48; d++) {
+          cent[c * 48 + d] = sums[c * 48 + d] / counts[c];
+        }
+      }
+    }
+  }
+
+  // reporting: cluster sizes, within-cluster scatter and a checksum
+  double scatter = 0.0;
+  for (int i = 0; i < n; i++) {
+    int c = assign[i];
+    double d2 = 0.0;
+    for (int d = 0; d < 48; d++) {
+      double diff = x[i * 48 + d] - cent[c * 48 + d];
+      d2 += diff * diff;
+    }
+    scatter += d2;
+  }
+  int largest = 0;
+  int smallest = n;
+  for (int c = 0; c < 3; c++) {
+    int size = (int)counts[c];
+    if (size > largest) {
+      largest = size;
+    }
+    if (size < smallest) {
+      smallest = size;
+    }
+  }
+  double check = 0.0;
+  for (int z = 0; z < 144; z++) {
+    check += cent[z];
+  }
+  for (int i = 0; i < n; i++) {
+    check += 0.0001 * (double)assign[i];
+  }
+  print_float(check);
+  print_float(scatter / (double)n);
+  print_int(largest);
+  print_int(smallest);
+  return 0;
+}
+|}
+    n
+
+let app : Bench_app.t =
+  {
+    id = "kmeans";
+    name = "K-Means Classification";
+    source;
+    profile_n = 1024;
+    secondary_n = 2048;
+    eval_n = 4_000_000;
+    description =
+      "Lloyd's algorithm; memory-bound assignment pass with array \
+       reductions, driven by a sequential convergence loop";
+  }

@@ -1,0 +1,108 @@
+(** N-Body Simulation.
+
+    All-pairs gravitational step: for each body, accumulate the force
+    from every other body, update its velocity and (double-buffered)
+    position.  The hotspot's outer loop is parallel; the inner loop over
+    interaction partners carries a scalar reduction and has a
+    runtime-dependent bound ("double outer loop nest with bounds unknown
+    at compile time"), so the Fig. 3 strategy maps it to the GPU — where
+    it is strongly compute-bound and saturates both devices. *)
+
+let source ~n =
+  Printf.sprintf
+    {|
+int main() {
+  int n = %d;
+  double dt = 0.01;
+  double softening = 0.0001;
+  double px[n]; double py[n]; double pz[n];
+  double vx[n]; double vy[n]; double vz[n];
+  double npx[n]; double npy[n]; double npz[n];
+  double mass[n];
+
+  // initial conditions: a deterministic random plummer-ish cloud
+  for (int i = 0; i < n; i++) {
+    px[i] = 2.0 * rand01() - 1.0;
+    py[i] = 2.0 * rand01() - 1.0;
+    pz[i] = 2.0 * rand01() - 1.0;
+    vx[i] = 0.1 * (rand01() - 0.5);
+    vy[i] = 0.1 * (rand01() - 0.5);
+    vz[i] = 0.1 * (rand01() - 0.5);
+    mass[i] = 0.5 + rand01();
+  }
+
+  // force computation and integration step (the hotspot)
+  for (int i = 0; i < n; i++) {
+    double ax = 0.0;
+    double ay = 0.0;
+    double az = 0.0;
+    for (int j = 0; j < n; j++) {
+      double dx = px[j] - px[i];
+      double dy = py[j] - py[i];
+      double dz = pz[j] - pz[i];
+      double d2 = dx * dx + dy * dy + dz * dz + softening;
+      double inv = 1.0 / sqrt(d2 * d2 * d2);
+      double s = mass[j] * inv;
+      ax += dx * s;
+      ay += dy * s;
+      az += dz * s;
+    }
+    vx[i] += dt * ax;
+    vy[i] += dt * ay;
+    vz[i] += dt * az;
+    npx[i] = px[i] + dt * vx[i];
+    npy[i] = py[i] + dt * vy[i];
+    npz[i] = pz[i] + dt * vz[i];
+  }
+
+  // diagnostics: centre of mass drift and momentum balance
+  double total_mass = 0.0;
+  double cmx = 0.0;
+  double cmy = 0.0;
+  double cmz = 0.0;
+  for (int i = 0; i < n; i++) {
+    total_mass += mass[i];
+    cmx += mass[i] * npx[i];
+    cmy += mass[i] * npy[i];
+    cmz += mass[i] * npz[i];
+  }
+  cmx = cmx / total_mass;
+  cmy = cmy / total_mass;
+  cmz = cmz / total_mass;
+  double px_total = 0.0;
+  double py_total = 0.0;
+  double pz_total = 0.0;
+  for (int i = 0; i < n; i++) {
+    px_total += mass[i] * vx[i];
+    py_total += mass[i] * vy[i];
+    pz_total += mass[i] * vz[i];
+  }
+  // kinetic energy and the fastest body, for sanity reporting
+  double kinetic = 0.0;
+  double vmax2 = 0.0;
+  for (int i = 0; i < n; i++) {
+    double v2 = vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+    kinetic += 0.5 * mass[i] * v2;
+    vmax2 = fmax(vmax2, v2);
+  }
+  double check = cmx + cmy + cmz + px_total + py_total + pz_total;
+  print_float(check);
+  print_float(kinetic);
+  print_float(sqrt(vmax2));
+  return 0;
+}
+|}
+    n
+
+let app : Bench_app.t =
+  {
+    id = "nbody";
+    name = "N-Body Simulation";
+    source;
+    profile_n = 160;
+    secondary_n = 288;
+    eval_n = 126000;
+    description =
+      "all-pairs gravitational interaction; compute-bound, parallel outer \
+       loop, runtime-bound inner reduction loop";
+  }

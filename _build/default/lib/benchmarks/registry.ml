@@ -1,0 +1,18 @@
+(** The paper's five HPC and AI benchmark applications, plus extras
+    demonstrating flow outcomes the five never reach. *)
+
+let all : Bench_app.t list =
+  [ Rush_larsen.app; Nbody.app; Bezier.app; Adpredictor.app; Kmeans.app ]
+
+(** Applications beyond the paper's five (not part of the Fig. 5/Table I
+    reproduction). *)
+let extras : Bench_app.t list = [ Jacobi.app ]
+
+let find id =
+  match
+    List.find_opt (fun (b : Bench_app.t) -> b.id = id) (all @ extras)
+  with
+  | Some b -> b
+  | None -> invalid_arg ("unknown benchmark: " ^ id)
+
+let ids = List.map (fun (b : Bench_app.t) -> b.id) (all @ extras)

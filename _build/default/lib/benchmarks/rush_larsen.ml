@@ -1,0 +1,145 @@
+(** Rush Larsen ODE Solver.
+
+    Cardiac-cell membrane gating (Luo-Rudy style rate functions): each
+    timestep updates every cell's m/h/j gates with the Rush-Larsen
+    exponential integrator.  The per-cell body is a huge straight line of
+    exponential rationals — extreme register pressure (saturating the
+    GTX 1080 Ti in the paper) and an FPGA pipeline so large it overmaps
+    both devices even at unroll 1, which is why the paper reports no
+    CPU+FPGA results for this benchmark.  The timestep loop is a
+    sequential driver; the cell loop inside it is the extracted hotspot,
+    invoked (and transferred) once per step. *)
+
+let source ~n =
+  Printf.sprintf
+    {|
+int main() {
+  int n = %d;
+  int steps = 4;
+  double dt = 0.02;
+  double vm[n];
+  double mgate[n];
+  double hgate[n];
+  double jgate[n];
+
+  for (int i = 0; i < n; i++) {
+    vm[i] = 0.0 - 85.0 + 50.0 * rand01();
+    mgate[i] = 0.01 + 0.02 * rand01();
+    hgate[i] = 0.97 - 0.02 * rand01();
+    jgate[i] = 0.98 - 0.02 * rand01();
+  }
+
+  for (int t = 0; t < steps; t++) {
+    // gate update over all cells (the hotspot)
+    for (int i = 0; i < n; i++) {
+      double v = vm[i];
+      double vs = v + 47.13;
+      // m gate rate functions
+      double am1 = 0.32 * vs / (1.0 - exp(0.0 - 0.1 * vs));
+      double am2 = 0.08 * exp(0.0 - v / 11.0);
+      double am3 = 1.0 / (1.0 + exp(0.0 - (v + 40.0) / 7.5));
+      double alpham = am1 * am3 + 0.005 * am2;
+      double bm1 = 0.08 * exp(0.0 - v / 11.0);
+      double bm2 = 1.0 / (1.0 + exp((v + 35.0) / 9.0));
+      double bm3 = 0.13 * exp(0.0 - (v + 10.66) / 11.1);
+      double betam = bm1 * bm2 + 0.02 * bm3;
+      // h gate rate functions
+      double ah1 = 0.135 * exp(0.0 - (v + 80.0) / 6.8);
+      double ah2 = 1.0 / (1.0 + exp((v + 41.0) / 5.5));
+      double alphah = ah1 * ah2;
+      double bh1 = 3.56 * exp(0.079 * v);
+      double bh2 = 310000.0 * exp(0.35 * v);
+      double bh3 = 1.0 / (0.13 * (1.0 + exp(0.0 - (v + 10.66) / 11.1)));
+      double betah = (bh1 + 0.001 * bh2) * 0.001 + 0.7 * bh3 * 0.001;
+      // j gate rate functions
+      double aj1 = 0.0 - 127140.0 * exp(0.2444 * v);
+      double aj2 = 0.00003474 * exp(0.0 - 0.04391 * v);
+      double aj3 = (v + 37.78) / (1.0 + exp(0.311 * (v + 79.23)));
+      double alphaj = (aj1 * 0.0000001 - aj2) * aj3 * 0.01;
+      double bj1 = 0.1212 * exp(0.0 - 0.01052 * v);
+      double bj2 = 1.0 / (1.0 + exp(0.0 - 0.1378 * (v + 40.14)));
+      double bj3 = 0.3 * exp(0.0 - 0.0000002535 * v);
+      double bj4 = 1.0 / (1.0 + exp(0.0 - 0.1 * (v + 32.0)));
+      double betaj = bj1 * bj2 + 0.002 * bj3 * bj4;
+      // steady states and time constants
+      double taum = 1.0 / (alpham + betam);
+      double minf = alpham * taum;
+      double tauh = 1.0 / (alphah + betah);
+      double hinf = alphah * tauh;
+      double tauj = 1.0 / (alphaj + betaj + 0.001);
+      double jinf = fabs(alphaj) * tauj;
+      // rush-larsen exponential integration
+      double em = exp(0.0 - dt / taum);
+      double eh = exp(0.0 - dt / tauh);
+      double ej = exp(0.0 - dt / (tauj + 0.0001));
+      double m2 = minf + (mgate[i] - minf) * em;
+      double h2 = hinf + (hgate[i] - hinf) * eh;
+      double j2 = jinf + (jgate[i] - jinf) * ej;
+      // sodium current drives a small membrane update
+      double gna = 23.0 * m2 * m2 * m2 * h2 * j2;
+      double ena = 54.4;
+      double ina = gna * (v - ena);
+      // auxiliary currents (keeps the body realistic and register-heavy)
+      double ak1 = 1.02 / (1.0 + exp(0.2385 * (v + 87.0 - 59.215)));
+      double bk1a = 0.49124 * exp(0.08032 * (v + 87.0 + 5.476));
+      double bk1b = exp(0.06175 * (v + 87.0 - 594.31));
+      double bk1c = 1.0 + exp(0.0 - 0.5143 * (v + 87.0 + 4.753));
+      double bk1 = (bk1a + bk1b) / bk1c;
+      double ik1 = 0.6047 * (ak1 / (ak1 + bk1)) * (v + 87.0);
+      double ikp1 = 1.0 / (1.0 + exp((7.488 - v) / 5.98));
+      double ikp = 0.0183 * ikp1 * (v + 87.0);
+      double ib = 0.03921 * (v + 59.87);
+      double istim = 0.5 * exp(0.0 - (v + 30.0) * (v + 30.0) * 0.001);
+      double dv = 0.0 - (ina + ik1 + ikp + ib - istim) * dt * 0.01;
+      mgate[i] = m2;
+      hgate[i] = h2;
+      jgate[i] = j2;
+      vm[i] = v + dv;
+    }
+  }
+
+  // physiological sanity report: gate ranges must stay in [0,1] and the
+  // membrane potential within plausible bounds
+  double check = 0.0;
+  for (int i = 0; i < n; i++) {
+    check += vm[i] + mgate[i] + hgate[i] + jgate[i];
+  }
+  double gmin = 1.0;
+  double gmax = 0.0;
+  for (int i = 0; i < n; i++) {
+    gmin = fmin(gmin, fmin(mgate[i], fmin(hgate[i], jgate[i])));
+    gmax = fmax(gmax, fmax(mgate[i], fmax(hgate[i], jgate[i])));
+  }
+  double vmean = 0.0;
+  for (int i = 0; i < n; i++) {
+    vmean += vm[i];
+  }
+  vmean = vmean / (double)n;
+  int out_of_range = 0;
+  for (int i = 0; i < n; i++) {
+    if (vm[i] < 0.0 - 150.0 || vm[i] > 80.0) {
+      out_of_range += 1;
+    }
+  }
+  print_float(check);
+  print_float(gmin);
+  print_float(gmax);
+  print_float(vmean);
+  print_int(out_of_range);
+  return 0;
+}
+|}
+    n
+
+let app : Bench_app.t =
+  {
+    id = "rush_larsen";
+    name = "Rush Larsen ODE Solver";
+    source;
+    profile_n = 1500;
+    secondary_n = 3000;
+    eval_n = 2_000_000;
+    description =
+      "cardiac gating ODEs with Rush-Larsen integration; huge \
+       register-hungry straight-line body of exponential rationals";
+  }

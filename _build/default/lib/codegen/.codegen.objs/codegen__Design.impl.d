@@ -1,0 +1,1 @@
+lib/codegen/design.ml: Ast Format Loc_count Minic Pretty String

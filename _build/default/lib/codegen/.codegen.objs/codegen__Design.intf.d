@@ -1,0 +1,1 @@
+lib/codegen/design.mli: Ast Format Minic

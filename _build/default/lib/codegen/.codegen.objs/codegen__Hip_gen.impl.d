@@ -1,0 +1,1 @@
+lib/codegen/hip_gen.ml: Analysis Artisan Ast Builder Design Hashtbl List Minic Printf String Transforms

@@ -1,0 +1,1 @@
+lib/codegen/oneapi_gen.ml: Analysis Artisan Ast Builder Design List Minic Printf Transforms

@@ -1,0 +1,1 @@
+lib/codegen/openmp_gen.ml: Artisan Ast Builder Design Minic Transforms

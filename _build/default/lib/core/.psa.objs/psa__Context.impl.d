@@ -1,0 +1,1 @@
+lib/core/context.ml: Analysis Ast Codegen Devices List Minic Printf

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Devices Flow Format List Printf Std_flow String Task

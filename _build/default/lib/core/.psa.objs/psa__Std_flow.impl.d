@@ -1,0 +1,1 @@
+lib/core/std_flow.ml: Analysis Codegen Context Cost Devices Dse Flow List Minic Strategy String Task Transforms

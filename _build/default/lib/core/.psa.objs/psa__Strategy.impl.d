@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Analysis Codegen Context Cost Devices Dse Flow Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/core/task.ml: Context Format

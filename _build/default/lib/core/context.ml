@@ -1,0 +1,106 @@
+(** The design-flow context threaded through every PSA-flow task.
+
+    A context starts from an unoptimised high-level reference program and
+    accumulates what the flow learns (hotspot, kernel features) and what
+    it produces (the current path's design under construction, finished
+    timed designs).  Branch points duplicate the context per selected
+    path; contexts are immutable records, so paths never interfere. *)
+
+open Minic
+
+type t = {
+  benchmark : string;
+  reference : Ast.program;  (** the untouched input source *)
+  program : Ast.program;  (** current working program *)
+  (* workload scaling: the flow profiles at [profile_n]; [secondary]
+     provides the same application at another size for power-law fitting;
+     [eval_n] is the paper-scale size features are extrapolated to *)
+  profile_n : int;
+  secondary : (int * Ast.program) option;
+  eval_n : int option;
+  (* accrued knowledge *)
+  kernel : string option;
+  hotspot : Analysis.Hotspot.t option;
+  features : Analysis.Features.t option;  (** at profile scale *)
+  eval_features : Analysis.Features.t option;  (** at evaluation scale *)
+  alias_ok : bool option;
+  (* products *)
+  current : Codegen.Design.t option;  (** design being built on this path *)
+  results : Devices.Simulate.result list;  (** finished, timed designs *)
+  (* configuration *)
+  x_threshold : float;  (** FLOPs/B threshold X of the Fig. 3 strategy *)
+  budget : float option;  (** cost budget, $ per run (Fig. 3 feedback) *)
+  log : string list;  (** reverse-chronological event log *)
+}
+
+let make ?(benchmark = "app") ?(profile_n = 0) ?secondary ?eval_n
+    ?(x_threshold = 2.0) ?budget (reference : Ast.program) : t =
+  {
+    benchmark;
+    reference;
+    program = reference;
+    profile_n;
+    secondary;
+    eval_n;
+    kernel = None;
+    hotspot = None;
+    features = None;
+    eval_features = None;
+    alias_ok = None;
+    current = None;
+    results = [];
+    x_threshold;
+    budget;
+    log = [];
+  }
+
+let log msg ctx = { ctx with log = msg :: ctx.log }
+
+let logf ctx fmt = Printf.ksprintf (fun m -> log m ctx) fmt
+
+(** The event log in chronological order. *)
+let events ctx = List.rev ctx.log
+
+exception Missing of string
+
+(** Kernel name; raises if extraction has not run yet. *)
+let kernel_exn ctx =
+  match ctx.kernel with
+  | Some k -> k
+  | None -> raise (Missing "kernel (hotspot extraction has not run)")
+
+(** Features at evaluation scale (falls back to profile scale). *)
+let eval_features_exn ctx =
+  match (ctx.eval_features, ctx.features) with
+  | Some f, _ | None, Some f -> f
+  | None, None -> raise (Missing "features (analysis tasks have not run)")
+
+let features_exn ctx =
+  match ctx.features with
+  | Some f -> f
+  | None -> raise (Missing "features (analysis tasks have not run)")
+
+(** Record a finished design with its simulated time. *)
+let finish result ctx =
+  { ctx with results = ctx.results @ [ result ]; current = None }
+
+(** All finished designs across a list of terminal contexts (the output
+    of running a branching flow). *)
+let collect_results ctxs = List.concat_map (fun c -> c.results) ctxs
+
+(** Merged event log of all terminal contexts: branch fan-out duplicates
+    the shared prefix into every leaf, so drop each leaf's longest common
+    prefix with the previous one. *)
+let collect_logs ctxs =
+  let rec drop_common prev cur =
+    match (prev, cur) with
+    | p :: prev', c :: cur' when p = c -> drop_common prev' cur'
+    | _ -> cur
+  in
+  let rec go prev = function
+    | [] -> []
+    | c :: rest ->
+        let ev = events c in
+        drop_common prev ev @ go ev rest
+  in
+  go [] ctxs

@@ -1,0 +1,59 @@
+(** Analytical cost evaluation and budget feedback (Fig. 3's bottom box,
+    Section IV-D's cost/performance trade-offs).
+
+    Cloud resources are priced per provisioned time; the monetary cost of
+    a run is [price_per_second * execution_seconds].  With a budget set
+    on the context, the standard flow evaluates the selected design's
+    predicted cost; over budget, the PSA-flow feeds back and revises the
+    decision (falls back to the cheapest feasible target). *)
+
+(** On-demand $/hour for platforms carrying each device, in the spirit of
+    the AWS EC2 instance families the paper cites (c6a / p3-class /
+    f1-class).  The Fig. 6 experiment sweeps the FPGA:GPU ratio instead
+    of trusting any single snapshot. *)
+let default_hourly_prices =
+  [
+    ("epyc7543", 1.22);
+    ("gtx1080ti", 2.35);
+    ("rtx2080ti", 3.06);
+    ("arria10", 1.65);
+    ("stratix10", 2.20);
+  ]
+
+let price_per_second ?(prices = default_hourly_prices) device_id =
+  match List.assoc_opt device_id prices with
+  | Some hourly -> hourly /. 3600.0
+  | None -> 0.0
+
+(** Monetary cost of one timed run of a design. *)
+let of_result ?prices (r : Devices.Simulate.result) =
+  price_per_second ?prices r.design.device_id *. r.seconds
+
+(** Relative cost of running design [a] vs design [b] when [a]'s device
+    price per unit time is [price_ratio] times [b]'s: the quantity Fig. 6
+    plots as the price ratio sweeps. [< 1.] means [a] is more cost
+    effective. *)
+let relative_cost ~price_ratio ~seconds_a ~seconds_b =
+  if seconds_b <= 0.0 then Float.infinity
+  else price_ratio *. seconds_a /. seconds_b
+
+(** Price ratio at which the two designs cost the same: above it, [b] is
+    more cost effective.  (Fig. 6's crossover points: ~3.2 for
+    AdPredictor, ~2.5 for Bezier.) *)
+let breakeven_ratio ~seconds_a ~seconds_b =
+  if seconds_a <= 0.0 then Float.infinity else seconds_b /. seconds_a
+
+(** Joules of one timed run of a design — the energy analogue of
+    {!of_result} (Section IV-D: "similar analysis could be used to
+    identify the most energy efficient implementation"). *)
+let energy_of_result (r : Devices.Simulate.result) =
+  Devices.Spec.board_watts_of_id r.design.device_id *. r.seconds
+
+type verdict = Within_budget of float | Over_budget of float
+
+(** Budget check for Fig. 3's feedback edge. *)
+let check_budget (ctx : Context.t) (r : Devices.Simulate.result) =
+  let c = of_result r in
+  match ctx.budget with
+  | Some b when c > b -> Over_budget c
+  | _ -> Within_budget c

@@ -1,0 +1,31 @@
+(** Analytical cost evaluation and budget feedback (Fig. 3's bottom box,
+    Section IV-D's cost/performance trade-offs). *)
+
+(** Default on-demand $/hour per device platform. *)
+val default_hourly_prices : (string * float) list
+
+(** $/second for the platform carrying [device_id] (0 if unknown). *)
+val price_per_second : ?prices:(string * float) list -> string -> float
+
+(** Monetary cost of one timed run of a design. *)
+val of_result : ?prices:(string * float) list -> Devices.Simulate.result -> float
+
+(** Relative cost of running design [a] vs design [b] when [a]'s device
+    price per unit time is [price_ratio] times [b]'s — the quantity
+    Fig. 6 plots.  [< 1.] means [a] is more cost effective. *)
+val relative_cost :
+  price_ratio:float -> seconds_a:float -> seconds_b:float -> float
+
+(** Price ratio at which the two designs cost the same (Fig. 6's
+    crossover points). *)
+val breakeven_ratio : seconds_a:float -> seconds_b:float -> float
+
+(** Joules of one timed run — the energy analogue of {!of_result}
+    (Section IV-D). *)
+val energy_of_result : Devices.Simulate.result -> float
+
+type verdict = Within_budget of float | Over_budget of float
+
+(** Budget check for Fig. 3's feedback edge; the carried float is the
+    evaluated cost. *)
+val check_budget : Context.t -> Devices.Simulate.result -> verdict

@@ -1,0 +1,92 @@
+(** PSA-flow orchestration: branching task sequences with Path Selection
+    Automation.
+
+    A flow is a tree of tasks, sequences and branch points.  A branch
+    point holds named paths and a selection strategy; running a branch
+    duplicates the context into every selected path ("uninformed" mode
+    selects all paths, producing every design; an "informed" PSA strategy
+    selects one).  Selecting no path terminates the flow on that context
+    without modification — Fig. 3's "design-flow terminates" outcome. *)
+
+type selection =
+  | All  (** uninformed: generate designs for every path *)
+  | Paths of string list  (** informed: the chosen path(s) *)
+  | Stop of string  (** terminate without offloading, with a reason *)
+
+type t =
+  | Task of Task.t
+  | Seq of t list
+  | Branch of branch_point
+
+and branch_point = {
+  bp_name : string;
+  paths : (string * t) list;
+  select : Context.t -> selection;
+}
+
+(** Sequential composition. *)
+let seq ts = Seq ts
+
+let task t = Task t
+
+(** A branch point with a PSA strategy. *)
+let branch bp_name ~select paths = Branch { bp_name; paths; select }
+
+(** The uninformed strategy: take every path. *)
+let select_all _ = All
+
+exception Unknown_path of string * string
+
+(** Run a flow; returns the terminal contexts (one per reached leaf). *)
+let rec run (flow : t) (ctx : Context.t) : Context.t list =
+  match flow with
+  | Task t -> [ Task.apply t ctx ]
+  | Seq fs ->
+      List.fold_left
+        (fun ctxs f -> List.concat_map (run f) ctxs)
+        [ ctx ] fs
+  | Branch bp -> (
+      match bp.select ctx with
+      | Stop reason ->
+          [ Context.logf ctx "branch %s: stop (%s)" bp.bp_name reason ]
+      | All ->
+          let ctx =
+            Context.logf ctx "branch %s: uninformed, all %d paths" bp.bp_name
+              (List.length bp.paths)
+          in
+          List.concat_map
+            (fun (name, f) ->
+              run f (Context.logf ctx "branch %s -> %s" bp.bp_name name))
+            bp.paths
+      | Paths names ->
+          List.concat_map
+            (fun name ->
+              match List.assoc_opt name bp.paths with
+              | None -> raise (Unknown_path (bp.bp_name, name))
+              | Some f ->
+                  run f
+                    (Context.logf ctx "branch %s: PSA selected %s" bp.bp_name
+                       name))
+            names)
+
+(** All tasks mentioned in a flow, in definition order (the "repository"
+    listing of Fig. 4). *)
+let rec tasks = function
+  | Task t -> [ t ]
+  | Seq fs -> List.concat_map tasks fs
+  | Branch bp -> List.concat_map (fun (_, f) -> tasks f) bp.paths
+
+(** Rewrite the selection strategy of the branch point named [name]
+    (how the evaluation switches branch point A between informed and
+    uninformed modes, and how users plug in custom strategies). *)
+let rec override_selection ~name ~select = function
+  | Task t -> Task t
+  | Seq fs -> Seq (List.map (override_selection ~name ~select) fs)
+  | Branch bp ->
+      let paths =
+        List.map
+          (fun (n, f) -> (n, override_selection ~name ~select f))
+          bp.paths
+      in
+      if bp.bp_name = name then Branch { bp with paths; select }
+      else Branch { bp with paths }

@@ -1,0 +1,51 @@
+(** PSA-flow orchestration: branching task sequences with Path Selection
+    Automation.
+
+    A flow is a tree of tasks, sequences and branch points.  Running a
+    branch duplicates the context into every selected path: the
+    "uninformed" mode selects all paths and produces every design; an
+    informed PSA strategy selects one; selecting none terminates the flow
+    without modification (Fig. 3's fourth outcome). *)
+
+type selection =
+  | All  (** uninformed: generate designs for every path *)
+  | Paths of string list  (** informed: the chosen path(s) *)
+  | Stop of string  (** terminate without offloading, with a reason *)
+
+type t =
+  | Task of Task.t
+  | Seq of t list
+  | Branch of branch_point
+
+and branch_point = {
+  bp_name : string;
+  paths : (string * t) list;
+  select : Context.t -> selection;  (** the PSA strategy *)
+}
+
+(** Sequential composition. *)
+val seq : t list -> t
+
+val task : Task.t -> t
+
+(** A branch point with a PSA strategy. *)
+val branch : string -> select:(Context.t -> selection) -> (string * t) list -> t
+
+(** The uninformed strategy: take every path. *)
+val select_all : Context.t -> selection
+
+(** Raised when a strategy names a path the branch point does not have. *)
+exception Unknown_path of string * string
+
+(** Run a flow; returns the terminal contexts (one per reached leaf). *)
+val run : t -> Context.t -> Context.t list
+
+(** All tasks mentioned in a flow, in definition order (the Fig. 4
+    repository listing). *)
+val tasks : t -> Task.t list
+
+(** Rewrite the selection strategy of the branch point named [name] —
+    how the evaluation switches branch point A between informed and
+    uninformed modes, and how users plug in custom strategies. *)
+val override_selection :
+  name:string -> select:(Context.t -> selection) -> t -> t

@@ -1,0 +1,170 @@
+(** Reporting: human-readable flow outcomes and the paper's qualitative
+    comparison table (Table II). *)
+
+let pp_results fmt (results : Devices.Simulate.result list) =
+  Format.fprintf fmt "%-22s %-28s %12s %10s@."
+    "design" "device" "time" "speedup";
+  List.iter
+    (fun (r : Devices.Simulate.result) ->
+      Format.fprintf fmt "%-22s %-28s %12s %10s@."
+        r.design.name
+        (Devices.Spec.name (Devices.Spec.find r.design.device_id))
+        (if r.feasible then Printf.sprintf "%.4g s" r.seconds else "n/a")
+        (if r.feasible then Printf.sprintf "%.1fx" r.speedup else "n/a"))
+    results
+
+(** Fastest feasible result — the paper's Auto-Selected bar takes the
+    fastest of the devices generated on the selected path. *)
+let best (results : Devices.Simulate.result list) =
+  List.fold_left
+    (fun acc (r : Devices.Simulate.result) ->
+      if not r.feasible then acc
+      else
+        match acc with
+        | Some (b : Devices.Simulate.result) when b.seconds <= r.seconds -> acc
+        | _ -> Some r)
+    None results
+
+(** One row of the paper's Table II. *)
+type approach_row = {
+  approach : string;
+  partition : bool;
+  map : bool;
+  optimise : bool;
+  multiple_targets : bool;
+  scope : string;
+}
+
+(** Table II verbatim, with this work's row derivable from the
+    implemented capabilities. *)
+let table2 : approach_row list =
+  [
+    { approach = "Cross-Platform Frameworks [1-3]"; partition = false;
+      map = false; optimise = false; multiple_targets = true;
+      scope = "Full App." };
+    { approach = "HeteroCL [10]"; partition = false; map = false;
+      optimise = true; multiple_targets = false; scope = "Kernel" };
+    { approach = "Halide [11]"; partition = false; map = false;
+      optimise = true; multiple_targets = false; scope = "Kernel" };
+    { approach = "Delite [12]"; partition = false; map = false;
+      optimise = true; multiple_targets = true; scope = "Full App." };
+    { approach = "MLIR [13]"; partition = false; map = false;
+      optimise = true; multiple_targets = true; scope = "Full App." };
+    { approach = "HLS DSE [14-16,19]"; partition = false; map = false;
+      optimise = true; multiple_targets = false; scope = "Kernel" };
+    { approach = "StreamBlocks [20]"; partition = true; map = false;
+      optimise = false; multiple_targets = false; scope = "Full App." };
+    { approach = "GenMat [21]"; partition = false; map = true;
+      optimise = true; multiple_targets = true; scope = "Kernel" };
+    { approach = "Design-Flow Patterns [5]"; partition = true; map = false;
+      optimise = true; multiple_targets = false; scope = "Full App." };
+    { approach = "This Work"; partition = true; map = true; optimise = true;
+      multiple_targets = true; scope = "Full App." };
+  ]
+
+let pp_table2 fmt () =
+  let mark b = if b then "yes" else "-" in
+  Format.fprintf fmt "%-34s %-4s %-4s %-4s %-8s %s@." "Approach" "P" "M" "O"
+    "Multi" "Scope";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-34s %-4s %-4s %-4s %-8s %s@." r.approach
+        (mark r.partition) (mark r.map) (mark r.optimise)
+        (mark r.multiple_targets) r.scope)
+    table2
+
+(** The repository listing (Fig. 4 left column). *)
+let pp_repository fmt () =
+  List.iter
+    (fun (group, t) ->
+      Format.fprintf fmt "%-10s %a@." group Task.pp t)
+    Std_flow.repository_tasks
+
+(* ------------------------------------------------------------------ *)
+(* Flow visualisation (the paper's Fig. 1 / Fig. 4 diagrams)           *)
+(* ------------------------------------------------------------------ *)
+
+(** Render a flow as an ASCII tree: tasks as leaves with their A/T/CG/O
+    classification (dynamic tasks marked [*]), branch points as fan-outs
+    with their path names. *)
+let flow_to_ascii (flow : Flow.t) : string =
+  let buf = Buffer.create 1024 in
+  let rec go indent = function
+    | Flow.Task (t : Task.t) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s[%s%s] %s\n" indent
+             (Task.classification_letter t.classification)
+             (if t.dynamic then "*" else "")
+             t.name)
+    | Flow.Seq fs -> List.iter (go indent) fs
+    | Flow.Branch bp ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s<branch %s>\n" indent bp.bp_name);
+        List.iter
+          (fun (name, f) ->
+            Buffer.add_string buf (Printf.sprintf "%s +- %s:\n" indent name);
+            go (indent ^ " |   ") f)
+          bp.paths
+  in
+  go "" flow;
+  Buffer.contents buf
+
+(** Render a flow as a Graphviz dot digraph (tasks as boxes, branch
+    points as diamonds) for documentation diagrams. *)
+let flow_to_dot ?(name = "psa_flow") (flow : Flow.t) : string =
+  let buf = Buffer.create 1024 in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s_%d" prefix !counter
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" name);
+  (* returns (entry node, exit nodes) of the sub-flow *)
+  let rec emit = function
+    | Flow.Task (t : Task.t) ->
+        let id = fresh "task" in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [shape=box, label=\"%s (%s%s)\"];\n" id
+             (String.map (fun c -> if c = '"' then '\'' else c) t.name)
+             (Task.classification_letter t.classification)
+             (if t.dynamic then "*" else ""));
+        (id, [ id ])
+    | Flow.Seq fs ->
+        let parts = List.map emit fs in
+        let rec link = function
+          | (_, outs) :: ((entry, _) :: _ as rest) ->
+              List.iter
+                (fun o ->
+                  Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" o entry))
+                outs;
+              link rest
+          | _ -> ()
+        in
+        link parts;
+        (match (parts, List.rev parts) with
+        | (entry, _) :: _, (_, outs) :: _ -> (entry, outs)
+        | _ ->
+            let id = fresh "empty" in
+            Buffer.add_string buf
+              (Printf.sprintf "  %s [shape=point];\n" id);
+            (id, [ id ]))
+    | Flow.Branch bp ->
+        let id = fresh "branch" in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %s [shape=diamond, style=filled, fillcolor=gold, label=\"%s\"];\n"
+             id bp.bp_name);
+        let exits =
+          List.concat_map
+            (fun (pname, f) ->
+              let entry, outs = emit f in
+              Buffer.add_string buf
+                (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" id entry pname);
+              outs)
+            bp.paths
+        in
+        (id, exits)
+  in
+  ignore (emit flow);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Path Selection Automation strategies for branch point A.
+
+    {!fig3} is the paper's example strategy (Fig. 3), driven by the
+    accrued analysis facts; {!model_based} is the estimation-driven
+    alternative Section II-B discusses, built on quick device-model
+    probes. *)
+
+type decision =
+  | Cpu_path
+  | Gpu_path
+  | Fpga_path
+  | No_offload of string  (** terminate, with the reason *)
+
+type explanation = {
+  transfer_seconds : float;  (** estimated accelerator transfer time *)
+  cpu_seconds : float;  (** single-thread hotspot time *)
+  transfer_dominates : bool;
+  flops_per_byte : float;  (** w.r.t. offload traffic *)
+  x_threshold : float;
+  compute_bound : bool;
+  outer_parallel : bool;
+  dependent_inner_loops : bool;
+  fully_unrollable : bool;
+  decision : decision;
+}
+
+val decision_to_string : decision -> string
+
+(** Evaluate the Fig. 3 strategy on a context whose analyses have run,
+    returning every intermediate test along with the decision. *)
+val fig3_explain : Context.t -> explanation
+
+val pp_explanation : Format.formatter -> explanation -> unit
+
+(** The Fig. 3 strategy as a branch-point selection function for branch
+    point A with paths named "cpu", "gpu", "fpga". *)
+val fig3 : Context.t -> Flow.selection
+
+(** {1 Model-based PSA} *)
+
+(** What a model-based strategy optimises for. *)
+type objective = Performance | Monetary_cost | Energy
+
+val objective_to_string : objective -> string
+
+(** Predicted best outcome of each feasible target, from quick
+    device-model probes (each probe assumes its path's optimisation
+    tasks and runs the device's DSE). *)
+val probe_targets : Context.t -> (string * Devices.Simulate.result) list
+
+(** Score of one probed outcome under an objective (lower is better):
+    seconds, dollars, or joules. *)
+val score : objective -> Devices.Simulate.result -> float
+
+(** A model-based PSA strategy for branch point A: probe every target
+    and take the one minimising [objective] (default: performance). *)
+val model_based : ?objective:objective -> Context.t -> Flow.selection

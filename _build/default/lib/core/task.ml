@@ -1,0 +1,45 @@
+(** Codified design-flow tasks.
+
+    Each task encapsulates one self-contained analysis, transformation,
+    code generation or optimisation step (the A/T/CG/O classification of
+    the paper's Fig. 4), plus whether it is {e dynamic} — requires
+    program execution, marked with a clock in the paper's figures.  Tasks
+    compose into flows ({!Flow}); the repository of tasks lives in
+    {!Std_flow.Repository}. *)
+
+type classification =
+  | Analysis_task
+  | Transform
+  | Code_generation
+  | Optimisation
+
+let classification_letter = function
+  | Analysis_task -> "A"
+  | Transform -> "T"
+  | Code_generation -> "CG"
+  | Optimisation -> "O"
+
+type t = {
+  name : string;
+  classification : classification;
+  dynamic : bool;  (** requires program execution *)
+  run : Context.t -> Context.t;
+}
+
+let make ?(dynamic = false) name classification run =
+  { name; classification; dynamic; run }
+
+(** Apply a task, logging its execution. *)
+let apply (t : t) (ctx : Context.t) : Context.t =
+  let ctx =
+    Context.logf ctx "[%s%s] %s"
+      (classification_letter t.classification)
+      (if t.dynamic then "*" else "")
+      t.name
+  in
+  t.run ctx
+
+let pp fmt t =
+  Format.fprintf fmt "%-35s %-2s%s" t.name
+    (classification_letter t.classification)
+    (if t.dynamic then " (dynamic)" else "")

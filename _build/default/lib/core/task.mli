@@ -1,0 +1,30 @@
+(** Codified design-flow tasks.
+
+    Each task encapsulates one self-contained analysis, transformation,
+    code generation or optimisation step — the A/T/CG/O classification of
+    the paper's Fig. 4 — plus whether it is {e dynamic} (requires program
+    execution; the clock marker in the paper's figures). *)
+
+type classification =
+  | Analysis_task
+  | Transform
+  | Code_generation
+  | Optimisation
+
+(** "A" / "T" / "CG" / "O". *)
+val classification_letter : classification -> string
+
+type t = {
+  name : string;
+  classification : classification;
+  dynamic : bool;  (** requires program execution *)
+  run : Context.t -> Context.t;
+}
+
+val make :
+  ?dynamic:bool -> string -> classification -> (Context.t -> Context.t) -> t
+
+(** Apply a task, logging its execution into the context. *)
+val apply : t -> Context.t -> Context.t
+
+val pp : Format.formatter -> t -> unit

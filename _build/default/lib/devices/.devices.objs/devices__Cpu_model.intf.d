@@ -1,0 +1,1 @@
+lib/devices/cpu_model.mli: Analysis Spec

@@ -1,0 +1,1 @@
+lib/devices/fpga_model.mli: Analysis Codegen Spec

@@ -1,0 +1,1 @@
+lib/devices/gpu_model.ml: Analysis Codegen Cpu_model Float List Spec

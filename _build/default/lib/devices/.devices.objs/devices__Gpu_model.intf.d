@@ -1,0 +1,1 @@
+lib/devices/gpu_model.mli: Analysis Codegen Spec

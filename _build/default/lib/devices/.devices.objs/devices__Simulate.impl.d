@@ -1,0 +1,1 @@
+lib/devices/simulate.ml: Analysis Codegen Cpu_model Format Fpga_model Gpu_model Spec

@@ -1,0 +1,1 @@
+lib/devices/simulate.mli: Analysis Codegen Cpu_model Format Fpga_model Gpu_model

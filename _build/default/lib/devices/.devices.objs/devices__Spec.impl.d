@@ -1,0 +1,1 @@
+lib/devices/spec.ml: List

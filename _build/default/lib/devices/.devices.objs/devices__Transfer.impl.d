@@ -1,0 +1,1 @@
+lib/devices/transfer.ml: Analysis Cpu_model

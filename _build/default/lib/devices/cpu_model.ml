@@ -1,0 +1,53 @@
+(** CPU performance model.
+
+    The single-thread reference time comes directly from the
+    interpreter's virtual-cycle profile (that is its definition).  The
+    OpenMP model applies near-linear scaling with a small per-thread
+    efficiency loss plus a fork/join overhead per kernel invocation —
+    matching the paper's observation of 28-30x on 32 cores for
+    embarrassingly parallel loops. *)
+
+type t = {
+  threads : int;
+  t_single : float;  (** single-thread seconds *)
+  t_parallel : float;
+  speedup : float;
+  efficiency : float;
+}
+
+(** Single-thread reference seconds for the profiled hotspot. *)
+let reference_seconds (f : Analysis.Features.t) =
+  f.cpu_cycles_per_call *. float_of_int f.calls /. Spec.reference_clock_hz
+
+(** Parallel efficiency at [threads] threads. *)
+let efficiency (cpu : Spec.cpu) ~threads =
+  1.0 /. (1.0 +. (cpu.parallel_alpha *. float_of_int (threads - 1)))
+
+(** Time of the OpenMP design at a given thread count.
+
+    A loop that is not parallel cannot use more than one thread. *)
+let time (cpu : Spec.cpu) (f : Analysis.Features.t) ~threads : t =
+  let threads = max 1 (min threads cpu.cores) in
+  let threads = if f.outer_parallel then threads else 1 in
+  let t_single = reference_seconds f in
+  let eff = efficiency cpu ~threads in
+  let fork =
+    if threads = 1 then 0.0
+    else cpu.omp_fork_cycles *. float_of_int f.calls /. cpu.c_clock_hz
+  in
+  (* reduction merge cost grows with thread count *)
+  let merge =
+    if f.outer_has_reductions && threads > 1 then
+      1.0e-6 *. float_of_int threads *. float_of_int f.calls
+    else 0.0
+  in
+  let t_parallel =
+    (t_single /. (float_of_int threads *. eff)) +. fork +. merge
+  in
+  {
+    threads;
+    t_single;
+    t_parallel;
+    speedup = t_single /. t_parallel;
+    efficiency = eff;
+  }

@@ -1,0 +1,24 @@
+(** CPU performance model.
+
+    The single-thread reference time is the interpreter's virtual-cycle
+    profile by definition; the OpenMP model applies near-linear scaling
+    with a per-thread efficiency loss and fork/join overhead — 28-30x on
+    32 cores for embarrassingly parallel loops, as in the paper. *)
+
+type t = {
+  threads : int;  (** threads actually used (clamped; 1 if sequential) *)
+  t_single : float;  (** single-thread seconds *)
+  t_parallel : float;
+  speedup : float;
+  efficiency : float;
+}
+
+(** Single-thread reference seconds for the profiled hotspot. *)
+val reference_seconds : Analysis.Features.t -> float
+
+(** Parallel efficiency at the given thread count. *)
+val efficiency : Spec.cpu -> threads:int -> float
+
+(** Time of the OpenMP design at a thread count.  A loop that is not
+    parallel cannot use more than one thread. *)
+val time : Spec.cpu -> Analysis.Features.t -> threads:int -> t

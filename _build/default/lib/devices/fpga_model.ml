@@ -1,0 +1,231 @@
+(** FPGA performance and resource model (oneAPI designs).
+
+    Replaces the vendor HLS report and board execution:
+
+    - {b resources}: each operation in the kernel's per-iteration census
+      costs ALMs/DSPs (single precision a fraction of double — why the
+      "SP math fns" task matters on this path); pipeline state (live
+      scalar locals shifted through the pipeline depth) adds area — deep
+      ODE kernels like Rush Larsen blow past the device even at unroll 1.
+      One pipeline replica per unroll factor, plus the shell/BSP share.
+      The resulting utilisation report is what the unroll-until-overmap
+      DSE (paper Fig. 2) reads, with its >90 % cutoff;
+    - {b throughput}: a pipeline initiates one outer iteration per cycle
+      (II=1) when inner loops are fully unrolled; a non-unrollable inner
+      loop multiplies the initiation interval by its trip count, and a
+      loop-carried reduction by the accumulator latency;
+    - {b memory}: inputs/outputs stream once over DDR; gathered tables are
+      served from BRAM when they fit, else pay a random-access penalty;
+    - {b transfer}: buffer copies over PCIe, or overlapped USM streaming
+      when the zero-copy task ran (Stratix10 only). *)
+
+type resources = {
+  alms_used : int;
+  dsps_used : int;
+  bram_used : int;
+  alm_util : float;
+  dsp_util : float;
+  utilization : float;  (** max of ALM and DSP utilisation *)
+  overmapped : bool;  (** exceeds the 90 % DSE cutoff *)
+  fits : bool;  (** physically placeable (<= 100 %) *)
+}
+
+type breakdown = {
+  res : resources;
+  ii_effective : float;  (** cycles between successive outer iterations *)
+  t_pipe : float;  (** per call *)
+  t_mem : float;
+  t_transfer : float;
+  t_call : float;
+  total : float;
+  speedup : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-operation area costs                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** ALM cost of one operator instance. *)
+let alm_cost ~sp (ops : Analysis.Opcount.t) =
+  let c sp_c dp_c = if sp then sp_c else dp_c in
+  (ops.fadd *. c 450.0 1_000.0)
+  +. (ops.fmul *. c 150.0 550.0)
+  +. (ops.fdiv *. c 3_200.0 9_500.0)
+  +. (ops.sqrt *. c 3_000.0 9_000.0)
+  +. (ops.exp_log *. c 18_000.0 48_000.0)
+  +. (ops.trig *. c 17_000.0 48_000.0)
+  +. (ops.power *. c 33_000.0 95_000.0)
+  +. (ops.int_ops *. 40.0)
+  +. ((ops.loads +. ops.stores) *. 220.0)
+  +. (ops.cheap_math *. c 300.0 700.0)
+
+(** DSP cost of one operator instance. *)
+let dsp_cost ~sp (ops : Analysis.Opcount.t) =
+  let c sp_c dp_c = if sp then sp_c else dp_c in
+  (ops.fadd *. c 1.0 4.0)
+  +. (ops.fmul *. c 1.0 4.0)
+  +. (ops.fdiv *. c 2.0 8.0)
+  +. (ops.sqrt *. c 2.0 8.0)
+  +. (ops.exp_log *. c 8.0 26.0)
+  +. (ops.trig *. c 10.0 30.0)
+  +. (ops.power *. c 18.0 56.0)
+
+(** Latency (cycles) of the operator chain — pipeline depth proxy. *)
+let depth_estimate (ops : Analysis.Opcount.t) =
+  0.5
+  *. (ops.fadd +. ops.fmul
+     +. (8.0 *. ops.fdiv)
+     +. (15.0 *. ops.sqrt)
+     +. (20.0 *. (ops.exp_log +. ops.trig))
+     +. (40.0 *. ops.power))
+
+(** Bytes of on-chip tables one pipeline replica banks into BRAM: arrays
+    re-read inside inner loops plus gathered lookup tables (each pipeline
+    needs its own ports, hence its own copy). *)
+let bram_per_pipe (f : Analysis.Features.t) =
+  let gathered =
+    List.fold_left
+      (fun acc (a : Analysis.Features.arg_feat) ->
+        if List.mem a.af_name f.gathered_args then acc + a.af_footprint
+        else acc)
+      0 f.args
+  in
+  (* the two sets typically overlap (gathered tables are read in inner
+     loops); take the larger rather than double-counting.  The 1.6x
+     factor covers double-buffered banks and port-replication overhead. *)
+  int_of_float (1.6 *. float_of_int (max f.inner_read_bytes gathered))
+
+(** Resource estimate for unroll factor [unroll] — the content of the
+    "high level design report" the DSE inspects. *)
+let resources (fp : Spec.fpga) (d : Codegen.Design.t)
+    (f : Analysis.Features.t) ~unroll : resources =
+  let sp = d.single_precision in
+  let u = float_of_int (max 1 unroll) in
+  (* the hardware census counts operator instances to place: fully
+     unrolled fixed inner loops replicate, unbounded loops reuse *)
+  let pipe_alm = alm_cost ~sp f.hw_ops_per_iter in
+  let depth = depth_estimate f.hw_ops_per_iter in
+  (* live scalar state shifted along the pipeline: ~width/2 ALMs per
+     stage per live value *)
+  let state_alm =
+    float_of_int f.locals_count *. depth *. (if sp then 8.0 else 16.0)
+  in
+  let infra = fp.infra_alm_fraction *. float_of_int fp.alms in
+  let alms_used =
+    int_of_float (infra +. (u *. (pipe_alm +. state_alm)))
+  in
+  let dsps_used = int_of_float (u *. dsp_cost ~sp f.hw_ops_per_iter) in
+  let bram_used = int_of_float (u *. float_of_int (bram_per_pipe f)) in
+  let alm_util = float_of_int alms_used /. float_of_int fp.alms in
+  let dsp_util = float_of_int dsps_used /. float_of_int fp.dsps in
+  let bram_util = float_of_int bram_used /. float_of_int fp.bram_bytes in
+  let utilization = Float.max (Float.max alm_util dsp_util) bram_util in
+  {
+    alms_used;
+    dsps_used;
+    bram_used;
+    alm_util;
+    dsp_util;
+    utilization;
+    overmapped = utilization > 0.9;
+    fits = utilization <= 1.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Cycles between successive outer-loop initiations of one pipeline:
+    fully unrolled inner loops contribute flat hardware (no cycles);
+    every iteration of a non-unrollable innermost loop costs its
+    initiation interval — the accumulator latency when it carries a
+    reduction. *)
+let effective_ii (fp : Spec.fpga) (f : Analysis.Features.t) =
+  let inner_cost =
+    List.fold_left
+      (fun acc (il : Analysis.Features.inner_loop) ->
+        if il.il_fully_unrollable || not il.il_innermost then acc
+        else
+          let ii =
+            if il.il_has_reduction || not il.il_parallel then
+              float_of_int fp.reduction_ii
+            else 1.0
+          in
+          acc +. (il.il_iters_per_outer *. ii))
+      0.0 f.inner_loops
+  in
+  Float.max 1.0 inner_cost
+
+(** Full model: time of design [d] with features [f] on FPGA [fp].
+    An unsynthesizable design (resources beyond the device) reports
+    infinite time — the PSA cost evaluation rejects it. *)
+let time (fp : Spec.fpga) (d : Codegen.Design.t) (f : Analysis.Features.t) :
+    breakdown =
+  let unroll = max 1 d.unroll_factor in
+  let res = resources fp d f ~unroll in
+  let ii = effective_ii fp f in
+  if not res.fits then
+    {
+      res;
+      ii_effective = ii;
+      t_pipe = infinity;
+      t_mem = infinity;
+      t_transfer = infinity;
+      t_call = infinity;
+      total = infinity;
+      speedup = 0.0;
+    }
+  else
+    let cycles =
+      (Float.max 1.0 f.outer_trip *. ii /. float_of_int unroll)
+      +. fp.pipeline_fill
+      +. depth_estimate f.ops_per_iter
+    in
+    let t_pipe = cycles /. fp.f_clock_hz in
+    (* memory: stream inputs and outputs once; gathered tables that do not
+       fit BRAM pay a random-access penalty on their traffic *)
+    let gathered_footprint =
+      List.fold_left
+        (fun acc (a : Analysis.Features.arg_feat) ->
+          if List.mem a.af_name f.gathered_args then acc + a.af_footprint
+          else acc)
+        0 f.args
+    in
+    let gathers_onchip =
+      f.gathered_args = [] || gathered_footprint <= fp.bram_bytes
+    in
+    let stream_bytes = f.bytes_in_per_call +. f.bytes_out_per_call in
+    let t_mem =
+      if gathers_onchip then stream_bytes /. fp.ddr_bw
+      else
+        (stream_bytes /. fp.ddr_bw)
+        +. (f.bytes_accessed_per_call *. f.gather_fraction
+            /. (fp.ddr_bw /. 8.0))
+    in
+    let t_call =
+      if d.zero_copy && fp.supports_usm then
+        (* USM: kernel streams host memory directly; transfer and compute
+           overlap, the slowest channel dominates *)
+        Float.max (Float.max t_pipe t_mem) (stream_bytes /. fp.usm_bw)
+        +. fp.f_transfer_latency_s
+      else
+        Float.max t_pipe t_mem
+        +. (stream_bytes /. fp.f_pcie_bw)
+        +. fp.f_transfer_latency_s
+    in
+    let t_transfer =
+      if d.zero_copy && fp.supports_usm then stream_bytes /. fp.usm_bw
+      else stream_bytes /. fp.f_pcie_bw
+    in
+    let total = t_call *. float_of_int f.calls in
+    let t_ref = Cpu_model.reference_seconds f in
+    {
+      res;
+      ii_effective = ii;
+      t_pipe;
+      t_mem;
+      t_transfer;
+      t_call;
+      total;
+      speedup = t_ref /. total;
+    }

@@ -1,0 +1,44 @@
+(** FPGA performance and resource model (oneAPI designs): replaces the
+    vendor HLS report and board execution.  Resources price per-operator
+    area plus pipeline state, replicated per unroll, and banked BRAM for
+    on-chip tables; throughput follows the loop pipeline's initiation
+    interval; memory streams inputs/outputs with BRAM-served gathers;
+    transfers use buffer copies or overlapped USM streaming (Stratix10).
+    See DESIGN.md §5 for the calibration. *)
+
+type resources = {
+  alms_used : int;
+  dsps_used : int;
+  bram_used : int;
+  alm_util : float;
+  dsp_util : float;
+  utilization : float;  (** max of ALM / DSP / BRAM utilisation *)
+  overmapped : bool;  (** exceeds the 90% DSE cutoff *)
+  fits : bool;  (** physically placeable (<= 100%) *)
+}
+
+type breakdown = {
+  res : resources;
+  ii_effective : float;  (** cycles between successive outer iterations *)
+  t_pipe : float;  (** per call *)
+  t_mem : float;
+  t_transfer : float;
+  t_call : float;
+  total : float;
+  speedup : float;
+}
+
+(** Bytes of on-chip tables one pipeline replica banks into BRAM. *)
+val bram_per_pipe : Analysis.Features.t -> int
+
+(** Resource estimate for an unroll factor — the "high-level design
+    report" the unroll-until-overmap DSE inspects. *)
+val resources :
+  Spec.fpga -> Codegen.Design.t -> Analysis.Features.t -> unroll:int ->
+  resources
+
+(** Cycles between successive outer-loop initiations of one pipeline. *)
+val effective_ii : Spec.fpga -> Analysis.Features.t -> float
+
+(** Full model; an unsynthesizable design reports infinite time. *)
+val time : Spec.fpga -> Codegen.Design.t -> Analysis.Features.t -> breakdown

@@ -1,0 +1,182 @@
+(** GPU performance model (HIP designs).
+
+    An analytic occupancy/roofline model replacing execution on the real
+    GeForce parts:
+
+    - {b occupancy}: concurrent blocks per SM are limited by the blocksize,
+      the register file (register pressure estimated from the kernel —
+      the Rush Larsen effect), and the architectural block limit;
+    - {b issue efficiency} grows with occupancy up to an
+      architecture-specific saturation point (Turing tolerates low
+      occupancy better than Pascal — the paper's 2080-vs-1080 behaviour);
+    - {b compute time} prices the kernel's per-iteration operation census
+      at per-op issue costs (special functions are far cheaper once the
+      "specialised math fns" task mapped them to hardware intrinsics);
+    - {b memory time} prices DRAM traffic, with a penalty for uncoalesced
+      gathers unless the gathered tables fit in shared memory, and a
+      traffic reduction when the shared-memory staging task ran;
+    - {b transfer time} prices PCIe copies (pageable vs pinned) per kernel
+      invocation, using the data-movement analysis volumes;
+    - {b wave quantisation}: partially filled final waves waste SMs.
+
+    All constants are per-device calibration (Spec), never per benchmark. *)
+
+type breakdown = {
+  feasible : bool;
+  blocks : int;
+  blocks_per_sm : int;
+  occupancy : float;
+  eff : float;
+  tail : float;
+  t_compute : float;  (** per call, seconds *)
+  t_mem : float;
+  t_kernel : float;
+  t_transfer : float;
+  t_call : float;
+  total : float;  (** all calls *)
+  speedup : float;  (** vs single-thread reference *)
+}
+
+let infeasible =
+  {
+    feasible = false;
+    blocks = 0;
+    blocks_per_sm = 0;
+    occupancy = 0.0;
+    eff = 0.0;
+    tail = 1.0;
+    t_compute = infinity;
+    t_mem = infinity;
+    t_kernel = infinity;
+    t_transfer = infinity;
+    t_call = infinity;
+    total = infinity;
+    speedup = 0.0;
+  }
+
+(** Issue cycles of one outer iteration on one thread. *)
+let cycles_per_iteration (g : Spec.gpu) (d : Codegen.Design.t)
+    (ops : Analysis.Opcount.t) =
+  let sfu_cost = if d.gpu_intrinsics then 8.0 else 32.0 in
+  let pow_cost = if d.gpu_intrinsics then 16.0 else 64.0 in
+  let float_cycles =
+    ops.fadd +. ops.fmul +. (8.0 *. ops.fdiv) +. (8.0 *. ops.sqrt)
+    +. (sfu_cost *. (ops.exp_log +. ops.trig))
+    +. (pow_cost *. ops.power)
+    +. (2.0 *. ops.cheap_math)
+  in
+  let float_cycles =
+    if d.single_precision then float_cycles else float_cycles *. g.dp_penalty
+  in
+  float_cycles +. ops.int_ops +. (2.0 *. (ops.loads +. ops.stores))
+
+(** DRAM traffic per call, given the staging/coalescing situation. *)
+let memory_time (g : Spec.gpu) (d : Codegen.Design.t)
+    (f : Analysis.Features.t) =
+  let accessed = f.bytes_accessed_per_call in
+  let gathered_footprint =
+    List.fold_left
+      (fun acc (a : Analysis.Features.arg_feat) ->
+        if List.mem a.af_name f.gathered_args then acc + a.af_footprint
+        else acc)
+      0 f.args
+  in
+  let gathers_onchip =
+    d.shared_mem && gathered_footprint > 0
+    && gathered_footprint <= g.smem_per_sm
+  in
+  let gather_bytes = accessed *. f.gather_fraction in
+  let linear_bytes = accessed -. gather_bytes in
+  (* shared-memory staging turns per-thread re-reads of broadcast arrays
+     into one fetch per block: traffic shrinks toward one pass over the
+     data *)
+  let linear_bytes =
+    if d.shared_mem then
+      Float.max
+        (f.bytes_in_per_call +. f.bytes_out_per_call)
+        (linear_bytes /. float_of_int (max 1 d.blocksize))
+    else linear_bytes
+  in
+  let t_linear = linear_bytes /. g.mem_bw in
+  let t_gather =
+    if gathers_onchip then gather_bytes /. g.mem_bw /. 4.0
+    else gather_bytes /. (g.mem_bw /. g.gather_penalty)
+  in
+  t_linear +. t_gather
+
+(** Full model: time of design [d] with features [f] on GPU [g]. *)
+let time (g : Spec.gpu) (d : Codegen.Design.t) (f : Analysis.Features.t) :
+    breakdown =
+  let bs = max 32 (min g.max_blocksize d.blocksize) in
+  let iters = Float.max 1.0 f.outer_trip in
+  let blocks = int_of_float (ceil (iters /. float_of_int bs)) in
+  let by_threads = g.max_threads_per_sm / bs in
+  let by_regs =
+    if f.regs_estimate <= 0 then g.max_blocks_per_sm
+    else g.regfile_per_sm / (f.regs_estimate * bs)
+  in
+  let blocks_per_sm = min g.max_blocks_per_sm (min by_threads by_regs) in
+  if blocks_per_sm <= 0 then infeasible
+  else
+    let slots = blocks_per_sm * g.sms in
+    (* machine-wide thread occupancy: threads actually in flight over the
+       device's full latency-hiding capacity.  Captures both per-SM
+       limits (registers, block caps) and whole-device underfill when the
+       grid is small. *)
+    let occupancy =
+      float_of_int (min blocks slots * bs)
+      /. float_of_int (g.sms * g.max_threads_per_sm)
+    in
+    let eff =
+      g.issue_eff
+      *. Float.max g.occ_floor
+           (Float.min 1.0 (occupancy /. g.occ_saturation) ** g.occ_exponent)
+    in
+    let cyc = cycles_per_iteration g d f.ops_per_iter in
+    let throughput =
+      float_of_int (g.sms * g.cores_per_sm) *. g.g_clock_hz *. eff
+    in
+    let t_compute = iters *. cyc /. throughput in
+    let t_mem = memory_time g d f in
+    (* wave quantisation: a partially filled final wave wastes SMs.
+       Whole-device underfill (blocks < slots) is already priced by the
+       machine-wide occupancy. *)
+    let waves = ceil (float_of_int blocks /. float_of_int slots) in
+    let ideal_waves = float_of_int blocks /. float_of_int slots in
+    let tail =
+      if blocks <= slots || ideal_waves <= 0.0 then 1.0
+      else waves /. ideal_waves
+    in
+    (* array reductions lowered to atomics serialise on their few hot
+       addresses — the classic K-Means-on-GPU bottleneck *)
+    let t_atomic =
+      if d.reductions_removed then
+        iters *. f.ops_per_iter.stores /. g.atomic_throughput
+      else 0.0
+    in
+    let t_kernel =
+      (Float.max t_compute t_mem *. tail) +. t_atomic +. g.launch_latency_s
+    in
+    let pcie = if d.pinned_memory then g.pcie_bw_pinned else g.pcie_bw_pageable in
+    let t_transfer =
+      ((f.bytes_in_per_call +. f.bytes_out_per_call) /. pcie)
+      +. g.transfer_latency_s
+    in
+    let t_call = t_kernel +. t_transfer in
+    let total = t_call *. float_of_int f.calls in
+    let t_ref = Cpu_model.reference_seconds f in
+    {
+      feasible = true;
+      blocks;
+      blocks_per_sm;
+      occupancy;
+      eff;
+      tail;
+      t_compute;
+      t_mem;
+      t_kernel;
+      t_transfer;
+      t_call;
+      total;
+      speedup = t_ref /. total;
+    }

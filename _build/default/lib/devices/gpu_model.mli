@@ -1,0 +1,35 @@
+(** GPU performance model (HIP designs): an analytic occupancy/roofline
+    model replacing execution on the real GeForce parts.  Occupancy is
+    machine-wide (registers, block caps, grid underfill), issue
+    efficiency follows a per-architecture latency-hiding curve, memory
+    prices coalesced vs gathered traffic with shared-memory staging, and
+    transfers price PCIe per kernel invocation.  See the module body and
+    DESIGN.md §5 for the calibration. *)
+
+type breakdown = {
+  feasible : bool;  (** false when the launch configuration is invalid *)
+  blocks : int;
+  blocks_per_sm : int;
+  occupancy : float;  (** machine-wide thread occupancy, [0,1] *)
+  eff : float;  (** achieved fraction of peak issue *)
+  tail : float;  (** wave-quantisation factor, >= 1 *)
+  t_compute : float;  (** per call, seconds *)
+  t_mem : float;
+  t_kernel : float;
+  t_transfer : float;
+  t_call : float;
+  total : float;  (** all calls *)
+  speedup : float;  (** vs single-thread reference *)
+}
+
+(** Issue cycles of one outer iteration on one thread (per-op costs;
+    intrinsics and precision from the design's flags). *)
+val cycles_per_iteration :
+  Spec.gpu -> Codegen.Design.t -> Analysis.Opcount.t -> float
+
+(** DRAM traffic time per call given staging/coalescing. *)
+val memory_time :
+  Spec.gpu -> Codegen.Design.t -> Analysis.Features.t -> float
+
+(** Full model: time of a design with the given features. *)
+val time : Spec.gpu -> Codegen.Design.t -> Analysis.Features.t -> breakdown

@@ -1,0 +1,62 @@
+(** Unified design timing: dispatch a generated design to the matching
+    device model and report seconds and speedup against the single-thread
+    reference.  This is the "run the design on the platform" step of the
+    evaluation, with the analytic models standing in for the testbed. *)
+
+type result = {
+  design : Codegen.Design.t;
+  seconds : float;
+  speedup : float;
+  feasible : bool;
+  detail : detail;
+}
+
+and detail =
+  | Cpu_detail of Cpu_model.t
+  | Gpu_detail of Gpu_model.breakdown
+  | Fpga_detail of Fpga_model.breakdown
+
+(** Time [design] under kernel features [f]. *)
+let run (design : Codegen.Design.t) (f : Analysis.Features.t) : result =
+  match design.target with
+  | Codegen.Design.Cpu_openmp ->
+      let cpu = Spec.find_cpu design.device_id in
+      let threads =
+        if design.num_threads > 0 then design.num_threads else cpu.cores
+      in
+      let r = Cpu_model.time cpu f ~threads in
+      {
+        design;
+        seconds = r.t_parallel;
+        speedup = r.speedup;
+        feasible = true;
+        detail = Cpu_detail r;
+      }
+  | Codegen.Design.Gpu_hip ->
+      let gpu = Spec.find_gpu design.device_id in
+      let r = Gpu_model.time gpu design f in
+      {
+        design;
+        seconds = r.total;
+        speedup = r.speedup;
+        feasible = r.feasible;
+        detail = Gpu_detail r;
+      }
+  | Codegen.Design.Fpga_oneapi ->
+      let fpga = Spec.find_fpga design.device_id in
+      let r = Fpga_model.time fpga design f in
+      {
+        design;
+        seconds = (if design.synthesizable then r.total else infinity);
+        speedup = (if design.synthesizable then r.speedup else 0.0);
+        feasible = design.synthesizable && r.res.fits;
+        detail = Fpga_detail r;
+      }
+
+(** Single-thread reference seconds (Fig. 5 baseline). *)
+let reference_seconds = Cpu_model.reference_seconds
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-22s %s %10.4g s  speedup %7.1fx" r.design.name
+    (if r.feasible then "ok " else "n/a")
+    r.seconds r.speedup

@@ -1,0 +1,25 @@
+(** Unified design timing: dispatch a generated design to the matching
+    device model and report seconds and speedup against the single-thread
+    reference — the "run the design on the platform" step of the
+    evaluation, with analytic models standing in for the testbed. *)
+
+type result = {
+  design : Codegen.Design.t;
+  seconds : float;
+  speedup : float;  (** vs the single-thread reference *)
+  feasible : bool;  (** false for unsynthesizable / invalid designs *)
+  detail : detail;
+}
+
+and detail =
+  | Cpu_detail of Cpu_model.t
+  | Gpu_detail of Gpu_model.breakdown
+  | Fpga_detail of Fpga_model.breakdown
+
+(** Time a design under the given kernel features. *)
+val run : Codegen.Design.t -> Analysis.Features.t -> result
+
+(** Single-thread reference seconds (the Fig. 5 baseline denominator). *)
+val reference_seconds : Analysis.Features.t -> float
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,221 @@
+(** Device parameter sheets.
+
+    Architectural parameters come from public spec sheets of the paper's
+    testbed devices (AMD EPYC 7543; NVIDIA GeForce GTX 1080 Ti and RTX
+    2080 Ti; Intel PAC Arria10 GX and Stratix10 SX).  Per-architecture
+    efficiency constants are global calibration knobs (one set per
+    device, never per benchmark) documented in DESIGN.md §5. *)
+
+type cpu = {
+  c_id : string;
+  c_name : string;
+  cores : int;
+  c_clock_hz : float;
+  (* calibration *)
+  parallel_alpha : float;
+      (** per-extra-thread efficiency loss: eff(t) = 1/(1+alpha*(t-1)) *)
+  omp_fork_cycles : float;  (** parallel-region fork/join overhead *)
+}
+
+type gpu = {
+  g_id : string;
+  g_name : string;
+  sms : int;
+  cores_per_sm : int;
+  sfu_per_sm : int;
+  g_clock_hz : float;
+  regfile_per_sm : int;  (** 32-bit registers *)
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_blocksize : int;
+  mem_bw : float;  (** device memory bandwidth, B/s *)
+  smem_per_sm : int;  (** shared memory bytes per SM *)
+  pcie_bw_pageable : float;
+  pcie_bw_pinned : float;
+  transfer_latency_s : float;  (** per-call DMA setup latency *)
+  launch_latency_s : float;
+  (* calibration: eff = issue_eff * max(floor, min(1, occ/sat)^exp) where
+     occ is machine-wide thread occupancy *)
+  issue_eff : float;  (** achievable fraction of peak issue at full occupancy *)
+  occ_saturation : float;  (** occupancy above which issue_eff is reached *)
+  occ_exponent : float;
+      (** shape of the latency-hiding curve below saturation (Pascal
+          degrades sub-linearly, Turing linearly) *)
+  occ_floor : float;  (** minimum occupancy ratio credited *)
+  gather_penalty : float;  (** bandwidth divisor for uncoalesced access *)
+  dp_penalty : float;  (** FP64 throughput divisor (consumer parts) *)
+  atomic_throughput : float;
+      (** contended global atomics per second (few hot addresses) *)
+}
+
+type fpga = {
+  f_id : string;
+  f_name : string;
+  alms : int;
+  dsps : int;
+  bram_bytes : int;
+  f_clock_hz : float;  (** achieved pipeline clock *)
+  ddr_bw : float;
+  f_pcie_bw : float;
+  supports_usm : bool;  (** zero-copy host memory (Stratix10 only) *)
+  usm_bw : float;
+  reduction_ii : int;  (** initiation interval of a float accumulation *)
+  pipeline_fill : float;  (** pipeline depth fill overhead, cycles *)
+  infra_alm_fraction : float;  (** shell/BSP share of the device *)
+  f_transfer_latency_s : float;
+}
+
+type t = Cpu of cpu | Gpu of gpu | Fpga of fpga
+
+(* ------------------------------------------------------------------ *)
+(* The paper's testbed                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let epyc7543 =
+  {
+    c_id = "epyc7543";
+    c_name = "AMD EPYC 7543 32-Core @ 2.8 GHz";
+    cores = 32;
+    c_clock_hz = 2.8e9;
+    parallel_alpha = 0.0022;
+    omp_fork_cycles = 40_000.0;
+  }
+
+let gtx1080ti =
+  {
+    g_id = "gtx1080ti";
+    g_name = "NVIDIA GeForce GTX 1080 Ti (Pascal)";
+    sms = 28;
+    cores_per_sm = 128;
+    sfu_per_sm = 32;
+    g_clock_hz = 1.58e9;
+    regfile_per_sm = 65536;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_blocksize = 1024;
+    mem_bw = 484.0e9;
+    smem_per_sm = 96 * 1024;
+    pcie_bw_pageable = 6.0e9;
+    pcie_bw_pinned = 12.0e9;
+    transfer_latency_s = 12.0e-6;
+    launch_latency_s = 8.0e-6;
+    issue_eff = 0.12;
+    occ_saturation = 0.50;
+    occ_exponent = 0.6;
+    occ_floor = 0.02;
+    gather_penalty = 128.0;
+    dp_penalty = 16.0;
+    atomic_throughput = 1.0e9;
+  }
+
+let rtx2080ti =
+  {
+    g_id = "rtx2080ti";
+    g_name = "NVIDIA GeForce RTX 2080 Ti (Turing)";
+    sms = 68;
+    cores_per_sm = 64;
+    sfu_per_sm = 16;
+    g_clock_hz = 1.545e9;
+    regfile_per_sm = 65536;
+    max_threads_per_sm = 1024;
+    max_blocks_per_sm = 16;
+    max_blocksize = 1024;
+    mem_bw = 616.0e9;
+    smem_per_sm = 64 * 1024;
+    pcie_bw_pageable = 6.4e9;
+    pcie_bw_pinned = 12.6e9;
+    transfer_latency_s = 10.0e-6;
+    launch_latency_s = 6.0e-6;
+    issue_eff = 0.22;
+    occ_saturation = 0.25;
+    occ_exponent = 1.0;
+    occ_floor = 0.02;
+    gather_penalty = 128.0;
+    dp_penalty = 16.0;
+    atomic_throughput = 1.5e9;
+  }
+
+let arria10 =
+  {
+    f_id = "arria10";
+    f_name = "Intel PAC Arria10 GX 1150";
+    alms = 427_200;
+    dsps = 1_518;
+    bram_bytes = 6_600_000;
+    f_clock_hz = 240.0e6;
+    ddr_bw = 34.0e9;
+    (* sustained oneAPI buffer-transfer rate on the PAC boards is far
+       below the PCIe electrical limit *)
+    f_pcie_bw = 2.5e9;
+    supports_usm = false;
+    usm_bw = 0.0;
+    reduction_ii = 8;
+    pipeline_fill = 200.0;
+    infra_alm_fraction = 0.18;
+    f_transfer_latency_s = 30.0e-6;
+  }
+
+let stratix10 =
+  {
+    f_id = "stratix10";
+    f_name = "Intel PAC Stratix10 SX 2800";
+    alms = 933_120;
+    dsps = 5_760;
+    bram_bytes = 28_000_000;
+    f_clock_hz = 350.0e6;
+    ddr_bw = 76.0e9;
+    f_pcie_bw = 3.0e9;
+    supports_usm = true;
+    usm_bw = 4.0e9;
+    reduction_ii = 6;
+    pipeline_fill = 300.0;
+    infra_alm_fraction = 0.15;
+    f_transfer_latency_s = 25.0e-6;
+  }
+
+let all : t list =
+  [ Cpu epyc7543; Gpu gtx1080ti; Gpu rtx2080ti; Fpga arria10; Fpga stratix10 ]
+
+let id = function
+  | Cpu c -> c.c_id
+  | Gpu g -> g.g_id
+  | Fpga f -> f.f_id
+
+let name = function
+  | Cpu c -> c.c_name
+  | Gpu g -> g.g_name
+  | Fpga f -> f.f_name
+
+(** Look a device up by id.
+    @raise Not_found for unknown ids. *)
+let find device_id = List.find (fun d -> id d = device_id) all
+
+let find_opt device_id = List.find_opt (fun d -> id d = device_id) all
+
+let find_gpu device_id =
+  match find device_id with
+  | Gpu g -> g
+  | _ -> invalid_arg (device_id ^ " is not a GPU")
+
+let find_fpga device_id =
+  match find device_id with
+  | Fpga f -> f
+  | _ -> invalid_arg (device_id ^ " is not an FPGA")
+
+let find_cpu device_id =
+  match find device_id with
+  | Cpu c -> c
+  | _ -> invalid_arg (device_id ^ " is not a CPU")
+
+(** Reference single-thread clock: all Fig. 5 baselines run on one
+    EPYC 7543 core. *)
+let reference_clock_hz = epyc7543.c_clock_hz
+
+(** Board-level power draw under load, watts — used by the
+    energy-efficiency analysis the paper sketches in Section IV-D. *)
+let board_watts = function
+  | Cpu _ -> 225.0 (* EPYC 7543 TDP *)
+  | Gpu g -> if g.g_id = "gtx1080ti" then 250.0 else 260.0
+  | Fpga f -> if f.f_id = "arria10" then 66.0 else 215.0 (* PAC boards *)
+
+let board_watts_of_id id = board_watts (find id)

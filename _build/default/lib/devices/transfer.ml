@@ -1,0 +1,22 @@
+(** Host<->accelerator transfer estimation used by the PSA strategy.
+
+    Fig. 3's first test compares the estimated data-transfer time
+    (from data-movement analysis volumes and "known device transfer
+    bandwidths") against the hotspot's single-thread CPU time. *)
+
+(** Representative transfer bandwidth for the offload decision: the best
+    sustained host<->accelerator link available in the machine (pinned
+    PCIe to the GPUs, which is also the FPGA boards' ballpark). *)
+let decision_bandwidth = 12.0e9
+
+(** Estimated seconds to move the hotspot's data in and out, per the
+    data-movement analysis, over the whole run. *)
+let estimated_seconds ?(bandwidth = decision_bandwidth)
+    (f : Analysis.Features.t) =
+  (f.bytes_in_per_call +. f.bytes_out_per_call)
+  *. float_of_int f.calls /. bandwidth
+
+(** The Fig. 3 test: would moving the data cost more than just computing
+    on the CPU? *)
+let transfer_dominates (f : Analysis.Features.t) =
+  estimated_seconds f > Cpu_model.reference_seconds f

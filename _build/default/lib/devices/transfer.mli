@@ -1,0 +1,15 @@
+(** Host<->accelerator transfer estimation used by the PSA strategy:
+    Fig. 3's first test compares estimated data-transfer time against
+    the hotspot's single-thread CPU time. *)
+
+(** Representative host<->accelerator bandwidth for the offload
+    decision, B/s. *)
+val decision_bandwidth : float
+
+(** Estimated seconds to move the hotspot's data in and out over the
+    whole run. *)
+val estimated_seconds : ?bandwidth:float -> Analysis.Features.t -> float
+
+(** The Fig. 3 test: would moving the data cost more than computing on
+    the CPU? *)
+val transfer_dominates : Analysis.Features.t -> bool

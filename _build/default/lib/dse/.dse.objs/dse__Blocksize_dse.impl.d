@@ -1,0 +1,1 @@
+lib/dse/blocksize_dse.ml: Analysis Codegen Devices List

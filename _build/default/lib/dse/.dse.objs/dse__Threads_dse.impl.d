@@ -1,0 +1,1 @@
+lib/dse/threads_dse.ml: Analysis Codegen Devices List

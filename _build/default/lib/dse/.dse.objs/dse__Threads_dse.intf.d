@@ -1,0 +1,1 @@
+lib/dse/threads_dse.mli: Analysis Codegen

@@ -1,0 +1,1 @@
+lib/dse/unroll_dse.mli: Analysis Codegen

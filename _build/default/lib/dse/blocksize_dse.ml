@@ -1,0 +1,57 @@
+(** GPU blocksize DSE ("GTX 1080 Blocksize DSE" / "RTX 2080 Blocksize
+    DSE").
+
+    Sweeps the launch blocksize over the architecturally valid range and
+    keeps the value minimising modelled execution time — the paper's goal
+    of minimising latency and maximising occupancy per device.  The same
+    kernel typically lands on different blocksizes per device because the
+    register file, SM count and occupancy curves differ. *)
+
+type step = {
+  blocksize : int;
+  occupancy : float;
+  seconds : float;
+  feasible : bool;
+}
+
+type result = {
+  design : Codegen.Design.t;  (** with the chosen blocksize *)
+  chosen_blocksize : int;
+  steps : step list;
+}
+
+let candidate_blocksizes = [ 32; 64; 96; 128; 192; 256; 384; 512; 768; 1024 ]
+
+(** Run the DSE for [design] on its GPU device. *)
+let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+  let gpu = Devices.Spec.find_gpu design.device_id in
+  let steps =
+    List.filter_map
+      (fun bs ->
+        if bs > gpu.max_blocksize then None
+        else
+          let d = { design with Codegen.Design.blocksize = bs } in
+          let r = Devices.Gpu_model.time gpu d features in
+          Some
+            {
+              blocksize = bs;
+              occupancy = r.occupancy;
+              seconds = r.total;
+              feasible = r.feasible;
+            })
+      candidate_blocksizes
+  in
+  let best =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Some b when b.seconds <= s.seconds || not s.feasible -> Some b
+        | _ -> if s.feasible then Some s else acc)
+      None steps
+  in
+  let chosen =
+    match best with Some s -> s.blocksize | None -> design.blocksize
+  in
+  { design = Codegen.Hip_gen.set_blocksize design chosen;
+    chosen_blocksize = chosen;
+    steps }

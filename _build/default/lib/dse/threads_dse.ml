@@ -1,0 +1,46 @@
+(** "OMP Num Threads DSE".
+
+    Sweeps the OpenMP thread count from 1 to the core count and keeps the
+    fastest.  For the paper's embarrassingly parallel benchmarks this
+    selects the maximum available threads (32 on the EPYC 7543), yielding
+    the 28-30x Fig. 5 CPU bars. *)
+
+type step = { threads : int; seconds : float; speedup : float }
+
+type result = {
+  design : Codegen.Design.t;  (** with the chosen thread count *)
+  chosen_threads : int;
+  steps : step list;
+}
+
+(** Run the DSE for [design] on its CPU device. *)
+let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+  let cpu = Devices.Spec.find_cpu design.device_id in
+  let candidates =
+    let rec doubling n acc =
+      if n >= cpu.cores then List.rev (cpu.cores :: acc)
+      else doubling (n * 2) (n :: acc)
+    in
+    doubling 1 []
+  in
+  let steps =
+    List.map
+      (fun t ->
+        let r = Devices.Cpu_model.time cpu features ~threads:t in
+        { threads = t; seconds = r.t_parallel; speedup = r.speedup })
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Some b when b.seconds <= s.seconds -> Some b
+        | _ -> Some s)
+      None steps
+  in
+  let chosen = match best with Some s -> s.threads | None -> cpu.cores in
+  {
+    design = Codegen.Openmp_gen.set_num_threads design chosen;
+    chosen_threads = chosen;
+    steps;
+  }

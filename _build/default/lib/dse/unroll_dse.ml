@@ -1,0 +1,69 @@
+(** "Unroll Until Overmap" DSE — the meta-program of the paper's Fig. 2.
+
+    Iteratively doubles the kernel's outer-loop unroll factor, asking the
+    FPGA resource model (standing in for the HLS high-level design
+    report) for estimated utilisation after each step, until the device
+    overmaps (> 90 %).  The last fitting design is kept; if even unroll 1
+    overmaps, the design is unsynthesizable for this device — exactly the
+    paper's Rush Larsen outcome. *)
+
+type step = {
+  factor : int;
+  utilization : float;
+  alm_util : float;
+  dsp_util : float;
+  overmapped : bool;
+}
+
+type result = {
+  design : Codegen.Design.t;  (** annotated with the chosen factor *)
+  chosen_factor : int;
+  synthesizable : bool;
+  steps : step list;  (** DSE trajectory, in exploration order *)
+}
+
+let max_factor = 1 lsl 16
+
+(** Run the DSE for [design] on its FPGA device. *)
+let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+  let fpga = Devices.Spec.find_fpga design.device_id in
+  let eval n =
+    let r = Devices.Fpga_model.resources fpga design features ~unroll:n in
+    {
+      factor = n;
+      utilization = r.utilization;
+      alm_util = r.alm_util;
+      dsp_util = r.dsp_util;
+      overmapped = r.overmapped;
+    }
+  in
+  let rec explore n best steps =
+    let s = eval n in
+    let steps = s :: steps in
+    if s.overmapped || n > max_factor then (best, steps)
+    else explore (n * 2) (Some n) steps
+  in
+  let best, steps = explore 1 None [] in
+  match best with
+  | Some factor ->
+      {
+        design = Codegen.Oneapi_gen.set_unroll_factor design factor;
+        chosen_factor = factor;
+        synthesizable = true;
+        steps = List.rev steps;
+      }
+  | None ->
+      (* the single-pipeline design already exceeds the 90% DSE headroom:
+         it is still synthesizable if it physically fits the device
+         (<= 100%), just with no unroll; beyond that it is not (the
+         paper's Rush Larsen FPGA outcome) *)
+      let fits =
+        (Devices.Fpga_model.resources fpga design features ~unroll:1).fits
+      in
+      let design = Codegen.Oneapi_gen.set_unroll_factor design 1 in
+      {
+        design = { design with Codegen.Design.synthesizable = fits };
+        chosen_factor = 1;
+        synthesizable = fits;
+        steps = List.rev steps;
+      }

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Buffer Bytes Float Hashtbl List Memory Minic Option Printf Profile String Value

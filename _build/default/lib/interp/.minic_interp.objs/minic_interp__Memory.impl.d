@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Array Hashtbl Minic Value

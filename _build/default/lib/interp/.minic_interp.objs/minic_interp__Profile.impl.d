@@ -1,0 +1,1 @@
+lib/interp/profile.ml: Hashtbl List Minic Value

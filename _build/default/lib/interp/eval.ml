@@ -1,0 +1,565 @@
+(** The MiniC interpreter.
+
+    Executes a program starting at [main], charging virtual cycles per
+    {!Profile.Cost} and recording the observations that the dynamic
+    design-flow tasks consume.  Passing [~focus:"kernel_fn"] additionally
+    profiles every call to that function as an accelerator-offload
+    candidate: per-argument transfer requirements and touched ranges.
+
+    Determinism: [rand01]/[rand_int] use a fixed-seed LCG, so repeated
+    runs (and runs of instrumented variants) see identical inputs — the
+    property the paper relies on when it compares designs generated from
+    the same reference source. *)
+
+open Value
+
+exception Return_exc of Value.t
+
+type frame = (string, Value.t ref) Hashtbl.t
+
+type state = {
+  prog : Minic.Ast.program;
+  mem : Memory.t;
+  prof : Profile.t;
+  globals : frame;
+  out : Buffer.t;
+  mutable rng : int;
+  focus : string option;
+  mutable focus_depth : int;
+  (* region id -> kernel argument indices it is reachable from *)
+  focus_args : (int, int list) Hashtbl.t;
+  (* region id -> per-element first-access state: 0 untouched, 1 read, 2 written *)
+  focus_state : (int, Bytes.t) Hashtbl.t;
+  mutable fuel : int;  (** remaining statement budget, guards against hangs *)
+}
+
+let charge st c = st.prof.cycles <- st.prof.cycles +. c
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic pseudo-random inputs                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lcg_next st =
+  st.rng <- ((1103515245 * st.rng) + 12345) land 0x3FFFFFFF;
+  st.rng
+
+let rand01 st = float_of_int (lcg_next st) /. 1073741824.0
+let rand_int st n = if n <= 0 then 0 else lcg_next st mod n
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-focus access tracking                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_obs st =
+  match st.prof.kernel with
+  | Some k -> k
+  | None ->
+      let k =
+        {
+          Profile.calls = 0;
+          k_cycles = 0.0;
+          k_flops = 0;
+          k_sfu = 0;
+          k_bytes_read = 0;
+          k_bytes_written = 0;
+          args = [||];
+        }
+      in
+      st.prof.kernel <- Some k;
+      k
+
+let update_range (obs : Profile.arg_obs) region_id off =
+  let rec go = function
+    | [] -> [ (region_id, off, off) ]
+    | (id, lo, hi) :: rest when id = region_id ->
+        (id, min lo off, max hi off) :: rest
+    | entry :: rest -> entry :: go rest
+  in
+  obs.regions_touched <- go obs.regions_touched
+
+let track_focus_access st (p : Value.ptr) ~write =
+  if st.focus_depth > 0 then
+    match Hashtbl.find_opt st.focus_args p.mem_id with
+    | None -> ()
+    | Some arg_idxs -> (
+        let k = kernel_obs st in
+        List.iter
+          (fun i ->
+            if i < Array.length k.args then update_range k.args.(i) p.mem_id p.off)
+          arg_idxs;
+        match Hashtbl.find_opt st.focus_state p.mem_id with
+        | None -> ()
+        | Some state ->
+            let elem = Memory.elem_bytes st.mem p.mem_id in
+            let attribute f =
+              match arg_idxs with
+              | i :: _ when i < Array.length k.args -> f k.args.(i)
+              | _ -> ()
+            in
+            let s = Bytes.get_uint8 state p.off in
+            if write then (
+              (* first write of this element: it is produced on-device and
+                 must be copied back *)
+              if s land 2 = 0 then (
+                Bytes.set_uint8 state p.off (s lor 2);
+                attribute (fun a ->
+                    a.Profile.bytes_out <- a.Profile.bytes_out + elem)))
+            else if s = 0 then (
+              (* first access is a read: the element must be transferred in *)
+              Bytes.set_uint8 state p.off 1;
+              attribute (fun a ->
+                  a.Profile.bytes_in <- a.Profile.bytes_in + elem)))
+
+let mem_load st p =
+  let v = Memory.load st.mem p in
+  let bytes = Memory.elem_bytes st.mem p.mem_id in
+  charge st Profile.Cost.load;
+  st.prof.loads <- st.prof.loads + 1;
+  st.prof.bytes_read <- st.prof.bytes_read + bytes;
+  track_focus_access st p ~write:false;
+  v
+
+let mem_store st p v =
+  Memory.store st.mem p v;
+  let bytes = Memory.elem_bytes st.mem p.mem_id in
+  charge st Profile.Cost.store;
+  st.prof.stores <- st.prof.stores + 1;
+  st.prof.bytes_written <- st.prof.bytes_written + bytes;
+  track_focus_access st p ~write:true
+
+(* ------------------------------------------------------------------ *)
+(* Variable lookup                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lookup st frame name =
+  match Hashtbl.find_opt frame name with
+  | Some r -> r
+  | None -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some r -> r
+      | None -> err "undefined variable '%s'" name)
+
+let bind frame name v = Hashtbl.replace frame name (ref v)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval_binop st op a b =
+  let fl = is_float a || is_float b in
+  let open Minic.Ast in
+  let charge_arith c =
+    charge st c;
+    if fl then st.prof.flops <- st.prof.flops + 1
+    else st.prof.int_ops <- st.prof.int_ops + 1
+  in
+  match op with
+  | Add ->
+      if fl then (
+        charge_arith Profile.Cost.float_add;
+        VFloat (to_float a +. to_float b))
+      else (
+        charge_arith Profile.Cost.int_op;
+        VInt (to_int a + to_int b))
+  | Sub ->
+      if fl then (
+        charge_arith Profile.Cost.float_add;
+        VFloat (to_float a -. to_float b))
+      else (
+        charge_arith Profile.Cost.int_op;
+        VInt (to_int a - to_int b))
+  | Mul ->
+      if fl then (
+        charge_arith Profile.Cost.float_mul;
+        VFloat (to_float a *. to_float b))
+      else (
+        charge_arith Profile.Cost.int_op;
+        VInt (to_int a * to_int b))
+  | Div ->
+      if fl then (
+        charge_arith Profile.Cost.float_div;
+        let d = to_float b in
+        VFloat (to_float a /. d))
+      else (
+        charge_arith Profile.Cost.int_op;
+        let d = to_int b in
+        if d = 0 then err "integer division by zero";
+        VInt (to_int a / d))
+  | Mod ->
+      charge_arith Profile.Cost.int_op;
+      let d = to_int b in
+      if d = 0 then err "integer modulo by zero";
+      VInt (to_int a mod d)
+  | Lt ->
+      charge st Profile.Cost.int_op;
+      VBool (if fl then to_float a < to_float b else to_int a < to_int b)
+  | Le ->
+      charge st Profile.Cost.int_op;
+      VBool (if fl then to_float a <= to_float b else to_int a <= to_int b)
+  | Gt ->
+      charge st Profile.Cost.int_op;
+      VBool (if fl then to_float a > to_float b else to_int a > to_int b)
+  | Ge ->
+      charge st Profile.Cost.int_op;
+      VBool (if fl then to_float a >= to_float b else to_int a >= to_int b)
+  | Eq ->
+      charge st Profile.Cost.int_op;
+      VBool (if fl then to_float a = to_float b else to_int a = to_int b)
+  | Ne ->
+      charge st Profile.Cost.int_op;
+      VBool (if fl then to_float a <> to_float b else to_int a <> to_int b)
+  | LAnd ->
+      charge st Profile.Cost.int_op;
+      VBool (to_bool a && to_bool b)
+  | LOr ->
+      charge st Profile.Cost.int_op;
+      VBool (to_bool a || to_bool b)
+
+let eval_math st name args =
+  match Minic.Builtins.cost_class name with
+  | None -> None
+  | Some cls ->
+      charge st (Profile.Cost.math_call cls);
+      st.prof.sfu_ops <- st.prof.sfu_ops + 1;
+      st.prof.flops <- st.prof.flops + Minic.Builtins.flops_of_class cls;
+      let f1 g = g (to_float (List.nth args 0)) in
+      let f2 g = g (to_float (List.nth args 0)) (to_float (List.nth args 1)) in
+      (* drop the '__' prefix of GPU intrinsics and the 'f' single-precision
+         suffix to recover the base math function *)
+      let strip n =
+        let n =
+          if String.length n > 2 && String.sub n 0 2 = "__" then
+            String.sub n 2 (String.length n - 2)
+          else n
+        in
+        if String.length n > 1 && n.[String.length n - 1] = 'f' then
+          String.sub n 0 (String.length n - 1)
+        else n
+      in
+      let base = strip name in
+      let v =
+        match base with
+        | "sqrt" | "fsqrt" -> f1 Float.sqrt
+        | "exp" -> f1 Float.exp
+        | "log" -> f1 Float.log
+        | "sin" -> f1 Float.sin
+        | "cos" -> f1 Float.cos
+        | "tanh" -> f1 Float.tanh
+        | "pow" -> f2 Float.pow
+        | "fabs" -> f1 Float.abs
+        | "floor" -> f1 Float.floor
+        | "fmin" -> f2 Float.min
+        | "fmax" -> f2 Float.max
+        | "fdivide" -> f2 ( /. )
+        | other -> err "unimplemented math builtin '%s'" other
+      in
+      Some (VFloat v)
+
+let rec eval_expr st frame (e : Minic.Ast.expr) : Value.t =
+  let open Minic.Ast in
+  match e.enode with
+  | Int_lit n -> VInt n
+  | Float_lit (f, _) -> VFloat f
+  | Bool_lit b -> VBool b
+  | Var v -> !(lookup st frame v)
+  | Unop (Neg, a) -> (
+      charge st Profile.Cost.int_op;
+      match eval_expr st frame a with
+      | VInt n -> VInt (-n)
+      | VFloat f ->
+          st.prof.flops <- st.prof.flops + 1;
+          VFloat (-.f)
+      | _ -> err "negation of a non-numeric value")
+  | Unop (Not, a) ->
+      charge st Profile.Cost.int_op;
+      VBool (not (to_bool (eval_expr st frame a)))
+  | Binop (op, a, b) ->
+      (* && and || short-circuit like C *)
+      if op = LAnd then (
+        charge st Profile.Cost.int_op;
+        if to_bool (eval_expr st frame a) then
+          VBool (to_bool (eval_expr st frame b))
+        else VBool false)
+      else if op = LOr then (
+        charge st Profile.Cost.int_op;
+        if to_bool (eval_expr st frame a) then VBool true
+        else VBool (to_bool (eval_expr st frame b)))
+      else
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        eval_binop st op va vb
+  | Index (a, i) ->
+      let p = to_ptr (eval_expr st frame a) in
+      let i = to_int (eval_expr st frame i) in
+      charge st Profile.Cost.int_op;
+      mem_load st { p with off = p.off + i }
+  | Cast (t, a) -> (
+      let v = eval_expr st frame a in
+      match t with
+      | Tint -> VInt (to_int v)
+      | Tfloat | Tdouble -> VFloat (to_float v)
+      | Tbool -> VBool (to_bool v)
+      | _ -> v)
+  | Call (fname, args) -> eval_call st frame fname args
+
+and eval_call st frame fname arg_exprs =
+  let args = List.map (eval_expr st frame) arg_exprs in
+  match Minic.Ast.find_func_opt st.prog fname with
+  | Some f -> eval_user_call st f args
+  | None -> eval_builtin st fname args
+
+and eval_builtin st fname args =
+  match eval_math st fname args with
+  | Some v -> v
+  | None -> (
+      match (fname, args) with
+      | "rand01", [] ->
+          charge st Profile.Cost.call;
+          VFloat (rand01 st)
+      | "rand_int", [ n ] ->
+          charge st Profile.Cost.call;
+          VInt (rand_int st (to_int n))
+      | "print_int", [ v ] ->
+          Buffer.add_string st.out (string_of_int (to_int v) ^ "\n");
+          VUnit
+      | "print_float", [ v ] ->
+          Buffer.add_string st.out (Printf.sprintf "%.6g\n" (to_float v));
+          VUnit
+      | "__timer_start", [ k ] ->
+          Profile.timer_start st.prof (to_int k);
+          VUnit
+      | "__timer_stop", [ k ] ->
+          Profile.timer_stop st.prof (to_int k);
+          VUnit
+      | _ -> err "call to unknown function '%s'" fname)
+
+and eval_user_call st (f : Minic.Ast.func) args =
+  charge st Profile.Cost.call;
+  if List.length args <> List.length f.fparams then
+    err "call to '%s' with wrong arity" f.fname;
+  let callee_frame : frame = Hashtbl.create 16 in
+  List.iter2
+    (fun (p : Minic.Ast.param) v -> bind callee_frame p.pname_ v)
+    f.fparams args;
+  let is_focus = st.focus = Some f.fname && st.focus_depth = 0 in
+  if is_focus then enter_focus st f args;
+  let snapshot =
+    (st.prof.cycles, st.prof.flops, st.prof.sfu_ops, st.prof.bytes_read,
+     st.prof.bytes_written)
+  in
+  let result =
+    try
+      eval_block st callee_frame f.fbody;
+      VUnit
+    with Return_exc v -> v
+  in
+  if is_focus then exit_focus st snapshot;
+  result
+
+and enter_focus st (f : Minic.Ast.func) args =
+  let ptr_params =
+    List.filteri
+      (fun _ ((p : Minic.Ast.param), _) ->
+        match p.ptyp with Minic.Ast.Tptr _ -> true | _ -> false)
+      (List.combine f.fparams args)
+  in
+  let k = kernel_obs st in
+  if Array.length k.args = 0 then
+    k.args <-
+      Array.of_list
+        (List.mapi
+           (fun i ((p : Minic.Ast.param), _) ->
+             {
+               Profile.arg_index = i;
+               arg_name = p.pname_;
+               regions_touched = [];
+               bytes_in = 0;
+               bytes_out = 0;
+             })
+           ptr_params);
+  Hashtbl.reset st.focus_args;
+  Hashtbl.reset st.focus_state;
+  List.iteri
+    (fun i (_, v) ->
+      match v with
+      | VPtr p ->
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt st.focus_args p.mem_id)
+          in
+          Hashtbl.replace st.focus_args p.mem_id (existing @ [ i ]);
+          if not (Hashtbl.mem st.focus_state p.mem_id) then
+            Hashtbl.replace st.focus_state p.mem_id
+              (Bytes.make (Memory.length st.mem p.mem_id) '\000')
+      | _ -> ())
+    ptr_params;
+  st.focus_depth <- st.focus_depth + 1
+
+and exit_focus st (c0, f0, s0, br0, bw0) =
+  st.focus_depth <- st.focus_depth - 1;
+  let k = kernel_obs st in
+  k.calls <- k.calls + 1;
+  k.k_cycles <- k.k_cycles +. (st.prof.cycles -. c0);
+  k.k_flops <- k.k_flops + (st.prof.flops - f0);
+  k.k_sfu <- k.k_sfu + (st.prof.sfu_ops - s0);
+  k.k_bytes_read <- k.k_bytes_read + (st.prof.bytes_read - br0);
+  k.k_bytes_written <- k.k_bytes_written + (st.prof.bytes_written - bw0)
+
+(* ------------------------------------------------------------------ *)
+(* Statement evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+and eval_stmt st frame (s : Minic.Ast.stmt) =
+  let open Minic.Ast in
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then err "execution budget exhausted (infinite loop?)";
+  match s.snode with
+  | Decl d -> (
+      match d.dsize with
+      | Some size_e ->
+          let n = to_int (eval_expr st frame size_e) in
+          let v = Memory.alloc st.mem ~name:d.dname ~elem_typ:d.dtyp n in
+          bind frame d.dname v
+      | None ->
+          let v =
+            match d.dinit with
+            | Some e -> coerce d.dtyp (eval_expr st frame e)
+            | None -> Value.zero_of_typ d.dtyp
+          in
+          bind frame d.dname v)
+  | Assign (lv, op, e) -> (
+      let rhs = eval_expr st frame e in
+      match lv with
+      | Lvar v ->
+          let r = lookup st frame v in
+          r := apply_assign st op !r rhs
+      | Lindex (a, i) ->
+          let p = to_ptr (eval_expr st frame a) in
+          let i = to_int (eval_expr st frame i) in
+          charge st Profile.Cost.int_op;
+          let p = { p with off = p.off + i } in
+          let v =
+            if op = Set then coerce_region st p rhs
+            else
+              let old = mem_load st p in
+              apply_assign st op old rhs
+          in
+          mem_store st p v)
+  | Expr_stmt e -> ignore (eval_expr st frame e)
+  | If (c, b1, b2) ->
+      charge st Profile.Cost.branch;
+      if to_bool (eval_expr st frame c) then eval_block st frame b1
+      else Option.iter (eval_block st frame) b2
+  | While (c, b) ->
+      let stat = Profile.loop_stat st.prof s.sid in
+      stat.invocations <- stat.invocations + 1;
+      let t0 = st.prof.cycles in
+      let trips = ref 0 in
+      charge st Profile.Cost.branch;
+      while to_bool (eval_expr st frame c) do
+        incr trips;
+        stat.iterations <- stat.iterations + 1;
+        st.fuel <- st.fuel - 1;
+        if st.fuel <= 0 then err "execution budget exhausted (infinite loop?)";
+        charge st (Profile.Cost.loop_iter +. Profile.Cost.branch);
+        eval_block st frame b
+      done;
+      stat.min_trip <- min stat.min_trip !trips;
+      stat.max_trip <- max stat.max_trip !trips;
+      stat.cycles <- stat.cycles +. (st.prof.cycles -. t0)
+  | For (h, b) ->
+      let stat = Profile.loop_stat st.prof s.sid in
+      stat.invocations <- stat.invocations + 1;
+      let t0 = st.prof.cycles in
+      let i0 = to_int (eval_expr st frame h.init) in
+      let idx = ref (VInt i0) in
+      bind frame h.index !idx;
+      let r = lookup st frame h.index in
+      let trips = ref 0 in
+      let continue () =
+        charge st Profile.Cost.branch;
+        let bound = to_int (eval_expr st frame h.bound) in
+        let i = to_int !r in
+        if h.inclusive then i <= bound else i < bound
+      in
+      while continue () do
+        incr trips;
+        stat.iterations <- stat.iterations + 1;
+        st.fuel <- st.fuel - 1;
+        if st.fuel <= 0 then err "execution budget exhausted (infinite loop?)";
+        charge st (Profile.Cost.loop_iter +. Profile.Cost.int_op);
+        eval_block st frame b;
+        let step = to_int (eval_expr st frame h.step) in
+        r := VInt (to_int !r + step)
+      done;
+      stat.min_trip <- min stat.min_trip !trips;
+      stat.max_trip <- max stat.max_trip !trips;
+      stat.cycles <- stat.cycles +. (st.prof.cycles -. t0)
+  | Return eo ->
+      let v =
+        match eo with Some e -> eval_expr st frame e | None -> VUnit
+      in
+      raise (Return_exc v)
+  | Block b -> eval_block st frame b
+
+and eval_block st frame b = List.iter (eval_stmt st frame) b
+
+and apply_assign st op old rhs =
+  match op with
+  | Minic.Ast.Set -> rhs
+  | Minic.Ast.AddEq -> eval_binop st Minic.Ast.Add old rhs
+  | Minic.Ast.SubEq -> eval_binop st Minic.Ast.Sub old rhs
+  | Minic.Ast.MulEq -> eval_binop st Minic.Ast.Mul old rhs
+  | Minic.Ast.DivEq -> eval_binop st Minic.Ast.Div old rhs
+
+and coerce typ v =
+  match typ with
+  | Minic.Ast.Tint -> VInt (to_int v)
+  | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> VFloat (to_float v)
+  | Minic.Ast.Tbool -> VBool (to_bool v)
+  | _ -> v
+
+and coerce_region st (p : Value.ptr) v =
+  coerce (Memory.region st.mem p.mem_id).elem_typ v
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Result of running a program. *)
+type run = {
+  profile : Profile.t;
+  output : string;  (** everything printed by [print_int]/[print_float] *)
+  return_value : Value.t;
+}
+
+(** Run [program] from [main].
+
+    @param focus name of the kernel function to profile as an offload
+      candidate (collects {!Profile.kernel_obs})
+    @param fuel statement-execution budget; the default (200 million) is a
+      safety net against accidental infinite loops in transformed code *)
+let run ?focus ?(fuel = 200_000_000) (program : Minic.Ast.program) : run =
+  let st =
+    {
+      prog = program;
+      mem = Memory.create ();
+      prof = Profile.create ();
+      globals = Hashtbl.create 16;
+      out = Buffer.create 256;
+      rng = 123456789;
+      focus;
+      focus_depth = 0;
+      focus_args = Hashtbl.create 8;
+      focus_state = Hashtbl.create 8;
+      fuel;
+    }
+  in
+  (* globals evaluate in the global frame *)
+  List.iter (eval_stmt st st.globals) program.globals;
+  let main =
+    match Minic.Ast.find_func_opt program "main" with
+    | Some f -> f
+    | None -> err "program has no 'main' function"
+  in
+  let return_value = eval_user_call st main [] in
+  { profile = st.prof; output = Buffer.contents st.out; return_value }

@@ -1,0 +1,23 @@
+(** The MiniC interpreter.
+
+    Executes a program from [main], charging virtual cycles per
+    {!Profile.Cost} and recording the observations the dynamic
+    design-flow tasks consume.  Deterministic: repeated runs (including
+    of instrumented variants) see identical pseudo-random inputs. *)
+
+(** Result of running a program. *)
+type run = {
+  profile : Profile.t;
+  output : string;  (** everything printed by [print_int]/[print_float] *)
+  return_value : Value.t;
+}
+
+(** Run [program] from [main].
+
+    @param focus name of the kernel function to profile as an
+      accelerator-offload candidate (collects {!Profile.kernel_obs})
+    @param fuel statement/iteration budget guarding against hangs
+      (default 200 million)
+    @raise Value.Runtime_error on runtime faults (out-of-bounds access,
+      integer division by zero, fuel exhaustion, missing [main], ...) *)
+val run : ?focus:string -> ?fuel:int -> Minic.Ast.program -> run

@@ -1,0 +1,63 @@
+(** Array storage for the MiniC interpreter.
+
+    Each array declaration allocates a [region]; pointers are (region id,
+    offset) pairs.  Regions remember their element type so the profiler can
+    charge the correct number of bytes per access, and optionally carry an
+    access-state map used by the data-in/out analysis to classify each
+    element's first access inside the kernel. *)
+
+type region = {
+  id : int;
+  name : string;  (** declaring variable, for diagnostics *)
+  elem_typ : Minic.Ast.typ;
+  elem_bytes : int;
+  data : Value.t array;
+}
+
+type t = {
+  mutable regions : region list;
+  mutable next_id : int;
+  tbl : (int, region) Hashtbl.t;
+}
+
+let create () = { regions = []; next_id = 0; tbl = Hashtbl.create 32 }
+
+(** Allocate a region of [n] elements of type [elem_typ], zero-filled. *)
+let alloc t ~name ~elem_typ n =
+  if n < 0 then Value.err "negative array size %d for '%s'" n name;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let region =
+    {
+      id;
+      name;
+      elem_typ;
+      elem_bytes = Minic.Ast.sizeof elem_typ;
+      data = Array.make n (Value.zero_of_typ elem_typ);
+    }
+  in
+  t.regions <- region :: t.regions;
+  Hashtbl.replace t.tbl id region;
+  Value.VPtr { mem_id = id; off = 0 }
+
+let region t id =
+  match Hashtbl.find_opt t.tbl id with
+  | Some r -> r
+  | None -> Value.err "dangling pointer (region %d)" id
+
+let load t (p : Value.ptr) =
+  let r = region t p.mem_id in
+  if p.off < 0 || p.off >= Array.length r.data then
+    Value.err "out-of-bounds read of '%s' at index %d (size %d)" r.name p.off
+      (Array.length r.data);
+  r.data.(p.off)
+
+let store t (p : Value.ptr) v =
+  let r = region t p.mem_id in
+  if p.off < 0 || p.off >= Array.length r.data then
+    Value.err "out-of-bounds write of '%s' at index %d (size %d)" r.name p.off
+      (Array.length r.data);
+  r.data.(p.off) <- v
+
+let length t id = Array.length (region t id).data
+let elem_bytes t id = (region t id).elem_bytes

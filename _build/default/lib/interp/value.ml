@@ -1,0 +1,57 @@
+(** Runtime values of the MiniC interpreter.
+
+    Floating point is evaluated in double precision regardless of the
+    static type: precision only affects the *cost* models (SP operations
+    are cheaper on accelerators), not the interpreter's arithmetic, which
+    keeps reference outputs stable across the SP-literal transforms. *)
+
+type t =
+  | VUnit
+  | VBool of bool
+  | VInt of int
+  | VFloat of float
+  | VPtr of ptr
+
+(** A pointer into a runtime array: array identity plus element offset. *)
+and ptr = { mem_id : int; off : int }
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+let to_int = function
+  | VInt n -> n
+  | VBool b -> if b then 1 else 0
+  | VFloat f -> int_of_float f
+  | VUnit | VPtr _ -> err "expected an integer value"
+
+let to_float = function
+  | VFloat f -> f
+  | VInt n -> float_of_int n
+  | VBool b -> if b then 1.0 else 0.0
+  | VUnit | VPtr _ -> err "expected a numeric value"
+
+let to_bool = function
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | VFloat f -> f <> 0.0
+  | VUnit | VPtr _ -> err "expected a boolean value"
+
+let to_ptr = function VPtr p -> p | _ -> err "expected a pointer value"
+
+let is_float = function VFloat _ -> true | _ -> false
+
+let to_string = function
+  | VUnit -> "()"
+  | VBool b -> string_of_bool b
+  | VInt n -> string_of_int n
+  | VFloat f -> Printf.sprintf "%.6g" f
+  | VPtr p -> Printf.sprintf "<ptr %d+%d>" p.mem_id p.off
+
+(** Default value for a declared type. *)
+let zero_of_typ = function
+  | Minic.Ast.Tbool -> VBool false
+  | Minic.Ast.Tint -> VInt 0
+  | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> VFloat 0.0
+  | Minic.Ast.Tptr _ -> VPtr { mem_id = -1; off = 0 }
+  | Minic.Ast.Tvoid -> VUnit

@@ -1,0 +1,1 @@
+lib/meta/instrument.ml: Ast Builder List Minic Pretty Rewrite

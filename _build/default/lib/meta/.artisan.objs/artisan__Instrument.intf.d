@@ -1,0 +1,1 @@
+lib/meta/instrument.mli: Ast Minic

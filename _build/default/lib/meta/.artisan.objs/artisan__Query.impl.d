@@ -1,0 +1,1 @@
+lib/meta/query.ml: Ast List Minic

@@ -1,0 +1,1 @@
+lib/meta/query.mli: Ast Minic

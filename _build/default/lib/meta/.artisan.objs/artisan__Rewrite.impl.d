@@ -1,0 +1,1 @@
+lib/meta/rewrite.ml: Ast List Minic Option

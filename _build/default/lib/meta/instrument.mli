@@ -1,0 +1,53 @@
+(** Instrumentation — the analogue of Artisan's [instrument] mechanism.
+
+    Operations address statements by node id (obtained from a
+    {!Query.match_ctx}) and rebuild the program functionally, mirroring
+    [instrument(before, loop, #pragma unroll $n)] from the paper's
+    Fig. 2 meta-program.  Untouched nodes keep their ids. *)
+
+open Minic
+
+(** Raised when the target node id does not occur in the program. *)
+exception Not_found_id of int
+
+(** Insert a statement immediately before the statement with id [target]. *)
+val insert_before : target:int -> Ast.stmt -> Ast.program -> Ast.program
+
+(** Insert a statement immediately after the statement with id [target]. *)
+val insert_after : target:int -> Ast.stmt -> Ast.program -> Ast.program
+
+(** Replace the statement with id [target] by a list (empty = delete). *)
+val replace : target:int -> Ast.stmt list -> Ast.program -> Ast.program
+
+(** Rewrite the statement with id [target] through a function
+    (id-preserving if the function is). *)
+val update : target:int -> (Ast.stmt -> Ast.stmt) -> Ast.program -> Ast.program
+
+(** Append a pragma to the statement with id [target]. *)
+val add_pragma : target:int -> Ast.pragma -> Ast.program -> Ast.program
+
+(** Remove all pragmas named [name] from the statement with id [target]. *)
+val remove_pragma : target:int -> string -> Ast.program -> Ast.program
+
+(** Replace the same-name pragma, or add it. *)
+val set_pragma : target:int -> Ast.pragma -> Ast.program -> Ast.program
+
+(** Wrap the statement with id [target] in [__timer_start key] /
+    [__timer_stop key] calls — the hotspot-detection instrumentation. *)
+val wrap_with_timer : target:int -> key:int -> Ast.program -> Ast.program
+
+(** Add a function to the program. *)
+val add_func : Ast.func -> Ast.program -> Ast.program
+
+(** Replace the function named [name]. *)
+val replace_func : name:string -> Ast.func -> Ast.program -> Ast.program
+
+(** Rename a function and every call to it. *)
+val rename_func : from:string -> into:string -> Ast.program -> Ast.program
+
+(** Render the (possibly instrumented) program back to source text —
+    Artisan's [ast.export(mod_src)]. *)
+val export : Ast.program -> string
+
+(** Export to a file. *)
+val export_file : Ast.program -> string -> unit

@@ -1,0 +1,244 @@
+(** Generic AST rewriting with stable node identities.
+
+    All transforms are built on two primitives:
+
+    - {!edit_stmts}: a statement editor [stmt -> stmt list] applied
+      top-down; returning [[s]] keeps the statement, [[]] deletes it, and
+      any other list replaces it (insertion = returning the new statement
+      alongside the original).  Children of whatever the editor returns
+      are then edited recursively.
+    - {!map_exprs}: a bottom-up expression map.
+
+    Both preserve the node ids of untouched nodes, so analysis results
+    keyed by id stay valid across passes — the property the paper's
+    design-flows rely on when analyses and transforms interleave. *)
+
+open Minic
+
+(** Rebuild a statement with its sub-blocks passed through [f], keeping
+    its id, pragmas, and location. *)
+let map_stmt_blocks f (s : Ast.stmt) : Ast.stmt =
+  let snode =
+    match s.snode with
+    | Ast.If (c, b1, b2) -> Ast.If (c, f b1, Option.map f b2)
+    | Ast.For (h, b) -> Ast.For (h, f b)
+    | Ast.While (c, b) -> Ast.While (c, f b)
+    | Ast.Block b -> Ast.Block (f b)
+    | (Ast.Decl _ | Ast.Assign _ | Ast.Expr_stmt _ | Ast.Return _) as n -> n
+  in
+  { s with snode }
+
+(** Apply editor [f] to every statement, top-down.  [f] maps one statement
+    to its replacement list; children of the replacements are edited in
+    turn. *)
+let rec edit_stmt f (s : Ast.stmt) : Ast.stmt list =
+  f s |> List.map (map_stmt_blocks (edit_block f))
+
+and edit_block f (b : Ast.block) : Ast.block = List.concat_map (edit_stmt f) b
+
+let edit_func f (fn : Ast.func) = { fn with fbody = edit_block f fn.fbody }
+
+(** Edit every statement of every function (globals are left alone: they
+    are declarations only). *)
+let edit_stmts f (p : Ast.program) : Ast.program =
+  { p with funcs = List.map (edit_func f) p.funcs }
+
+(** Edit statements of one function only. *)
+let edit_stmts_in f fname (p : Ast.program) : Ast.program =
+  {
+    p with
+    funcs =
+      List.map
+        (fun fn -> if fn.Ast.fname = fname then edit_func f fn else fn)
+        p.funcs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Expression rewriting                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Bottom-up expression map: children first, then [f] on the rebuilt
+    node.  The rebuilt node keeps its original id. *)
+let rec map_expr f (e : Ast.expr) : Ast.expr =
+  let rebuilt =
+    match e.enode with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Var _ -> e
+    | Ast.Unop (op, a) -> { e with enode = Ast.Unop (op, map_expr f a) }
+    | Ast.Binop (op, a, b) ->
+        { e with enode = Ast.Binop (op, map_expr f a, map_expr f b) }
+    | Ast.Index (a, i) ->
+        { e with enode = Ast.Index (map_expr f a, map_expr f i) }
+    | Ast.Call (name, args) ->
+        { e with enode = Ast.Call (name, List.map (map_expr f) args) }
+    | Ast.Cast (t, a) -> { e with enode = Ast.Cast (t, map_expr f a) }
+  in
+  f rebuilt
+
+let map_lvalue f = function
+  | Ast.Lvar v -> Ast.Lvar v
+  | Ast.Lindex (a, i) -> Ast.Lindex (map_expr f a, map_expr f i)
+
+(** Map every expression of a statement (including nested statements). *)
+let rec map_stmt_exprs f (s : Ast.stmt) : Ast.stmt =
+  let snode =
+    match s.snode with
+    | Ast.Decl d ->
+        Ast.Decl
+          {
+            d with
+            dsize = Option.map (map_expr f) d.dsize;
+            dinit = Option.map (map_expr f) d.dinit;
+          }
+    | Ast.Assign (lv, op, e) -> Ast.Assign (map_lvalue f lv, op, map_expr f e)
+    | Ast.Expr_stmt e -> Ast.Expr_stmt (map_expr f e)
+    | Ast.If (c, b1, b2) ->
+        Ast.If
+          ( map_expr f c,
+            List.map (map_stmt_exprs f) b1,
+            Option.map (List.map (map_stmt_exprs f)) b2 )
+    | Ast.For (h, b) ->
+        Ast.For
+          ( {
+              h with
+              init = map_expr f h.init;
+              bound = map_expr f h.bound;
+              step = map_expr f h.step;
+            },
+            List.map (map_stmt_exprs f) b )
+    | Ast.While (c, b) -> Ast.While (map_expr f c, List.map (map_stmt_exprs f) b)
+    | Ast.Return eo -> Ast.Return (Option.map (map_expr f) eo)
+    | Ast.Block b -> Ast.Block (List.map (map_stmt_exprs f) b)
+  in
+  { s with snode }
+
+(** Map every expression of every function body. *)
+let map_exprs f (p : Ast.program) : Ast.program =
+  {
+    p with
+    funcs =
+      List.map
+        (fun fn -> { fn with Ast.fbody = List.map (map_stmt_exprs f) fn.Ast.fbody })
+        p.funcs;
+  }
+
+(** Map expressions within one function only. *)
+let map_exprs_in f fname (p : Ast.program) : Ast.program =
+  {
+    p with
+    funcs =
+      List.map
+        (fun fn ->
+          if fn.Ast.fname = fname then
+            { fn with Ast.fbody = List.map (map_stmt_exprs f) fn.Ast.fbody }
+          else fn)
+        p.funcs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fresh copies                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Deep-copy an expression with fresh node ids (used when a transform
+    duplicates code, e.g. loop unrolling). *)
+let rec refresh_expr (e : Ast.expr) : Ast.expr =
+  let enode =
+    match e.enode with
+    | (Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Var _) as n -> n
+    | Ast.Unop (op, a) -> Ast.Unop (op, refresh_expr a)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, refresh_expr a, refresh_expr b)
+    | Ast.Index (a, i) -> Ast.Index (refresh_expr a, refresh_expr i)
+    | Ast.Call (name, args) -> Ast.Call (name, List.map refresh_expr args)
+    | Ast.Cast (t, a) -> Ast.Cast (t, refresh_expr a)
+  in
+  Ast.mk_expr ~loc:e.eloc enode
+
+let refresh_lvalue = function
+  | Ast.Lvar v -> Ast.Lvar v
+  | Ast.Lindex (a, i) -> Ast.Lindex (refresh_expr a, refresh_expr i)
+
+(** Deep-copy a statement with fresh node ids throughout. *)
+let rec refresh_stmt (s : Ast.stmt) : Ast.stmt =
+  let snode =
+    match s.snode with
+    | Ast.Decl d ->
+        Ast.Decl
+          {
+            d with
+            dsize = Option.map refresh_expr d.dsize;
+            dinit = Option.map refresh_expr d.dinit;
+          }
+    | Ast.Assign (lv, op, e) ->
+        Ast.Assign (refresh_lvalue lv, op, refresh_expr e)
+    | Ast.Expr_stmt e -> Ast.Expr_stmt (refresh_expr e)
+    | Ast.If (c, b1, b2) ->
+        Ast.If
+          ( refresh_expr c,
+            List.map refresh_stmt b1,
+            Option.map (List.map refresh_stmt) b2 )
+    | Ast.For (h, b) ->
+        Ast.For
+          ( {
+              h with
+              init = refresh_expr h.init;
+              bound = refresh_expr h.bound;
+              step = refresh_expr h.step;
+            },
+            List.map refresh_stmt b )
+    | Ast.While (c, b) -> Ast.While (refresh_expr c, List.map refresh_stmt b)
+    | Ast.Return eo -> Ast.Return (Option.map refresh_expr eo)
+    | Ast.Block b -> Ast.Block (List.map refresh_stmt b)
+  in
+  Ast.mk_stmt ~loc:s.sloc ~pragmas:s.pragmas snode
+
+let refresh_block b = List.map refresh_stmt b
+
+(** Substitute variable [name] by expression [by] (fresh-id copies)
+    throughout an expression. *)
+let rec subst_var ~name ~by (e : Ast.expr) : Ast.expr =
+  match e.enode with
+  | Ast.Var v when v = name -> refresh_expr by
+  | _ ->
+      let enode =
+        match e.enode with
+        | (Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Var _) as n -> n
+        | Ast.Unop (op, a) -> Ast.Unop (op, subst_var ~name ~by a)
+        | Ast.Binop (op, a, b) ->
+            Ast.Binop (op, subst_var ~name ~by a, subst_var ~name ~by b)
+        | Ast.Index (a, i) ->
+            Ast.Index (subst_var ~name ~by a, subst_var ~name ~by i)
+        | Ast.Call (f, args) -> Ast.Call (f, List.map (subst_var ~name ~by) args)
+        | Ast.Cast (t, a) -> Ast.Cast (t, subst_var ~name ~by a)
+      in
+      { e with enode }
+
+(** Substitute a variable in a whole statement, rebuilding in place
+    (ids preserved except where [by] is spliced in). *)
+let rec subst_var_stmt ~name ~by (s : Ast.stmt) : Ast.stmt =
+  let sub = subst_var ~name ~by in
+  let snode =
+    match s.snode with
+    | Ast.Decl d ->
+        Ast.Decl
+          { d with dsize = Option.map sub d.dsize; dinit = Option.map sub d.dinit }
+    | Ast.Assign (lv, op, e) ->
+        let lv =
+          match lv with
+          | Ast.Lvar v -> Ast.Lvar v
+          | Ast.Lindex (a, i) -> Ast.Lindex (sub a, sub i)
+        in
+        Ast.Assign (lv, op, sub e)
+    | Ast.Expr_stmt e -> Ast.Expr_stmt (sub e)
+    | Ast.If (c, b1, b2) ->
+        Ast.If
+          ( sub c,
+            List.map (subst_var_stmt ~name ~by) b1,
+            Option.map (List.map (subst_var_stmt ~name ~by)) b2 )
+    | Ast.For (h, b) ->
+        Ast.For
+          ( { h with init = sub h.init; bound = sub h.bound; step = sub h.step },
+            List.map (subst_var_stmt ~name ~by) b )
+    | Ast.While (c, b) -> Ast.While (sub c, List.map (subst_var_stmt ~name ~by) b)
+    | Ast.Return eo -> Ast.Return (Option.map sub eo)
+    | Ast.Block b -> Ast.Block (List.map (subst_var_stmt ~name ~by) b)
+  in
+  { s with snode }

@@ -1,0 +1,1 @@
+lib/minic/ast.pp.ml: Hashtbl List Loc Option Ppx_deriving_runtime

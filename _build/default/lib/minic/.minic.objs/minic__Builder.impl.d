@@ -1,0 +1,1 @@
+lib/minic/builder.pp.ml: Ast List Loc

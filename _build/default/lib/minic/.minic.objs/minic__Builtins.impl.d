@@ -1,0 +1,1 @@
+lib/minic/builtins.pp.ml: Ast Hashtbl List String

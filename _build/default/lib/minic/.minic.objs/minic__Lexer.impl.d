@@ -1,0 +1,1 @@
+lib/minic/lexer.pp.ml: Ast List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/loc.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/minic/loc_count.pp.ml: List Pretty String

@@ -1,0 +1,1 @@
+lib/minic/loc_count.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/parser.pp.ml: Ast Lexer List Loc Printf Token

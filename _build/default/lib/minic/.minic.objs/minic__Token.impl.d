@@ -1,0 +1,1 @@
+lib/minic/token.pp.ml: Ast List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/minic/typecheck.pp.ml: Ast Builtins Hashtbl List Loc Option Printf

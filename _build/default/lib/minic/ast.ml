@@ -1,0 +1,260 @@
+(** Abstract syntax tree for MiniC, the C-like kernel language in which
+    all benchmark applications are written.
+
+    MiniC plays the role of the C++ subset that the paper's Artisan
+    framework operates on: it has functions, scalar types (with an explicit
+    single/double precision distinction so that the "employ SP math
+    functions / numeric literals" transforms are meaningful), pointers and
+    arrays, canonical [for] loops, compound assignments ([+=] etc., needed
+    by the "remove array += dependency" transform), calls to math builtins,
+    and [#pragma] annotations attached to statements.
+
+    Every expression and statement carries a unique integer id.  Ids are
+    the handles used by the meta-programming layer ({!module:Artisan}) to
+    address nodes for querying and instrumentation, exactly as Artisan
+    addresses Clang AST nodes.  Transformations preserve the ids of nodes
+    they do not touch, so analysis results keyed by id remain valid across
+    instrumentation passes. *)
+
+(** Scalar and pointer types. *)
+type typ =
+  | Tvoid
+  | Tbool
+  | Tint
+  | Tfloat  (** single precision *)
+  | Tdouble  (** double precision *)
+  | Tptr of typ
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Floating-point literal precision. [Single] literals print with an 'f'
+    suffix, as produced by the "employ SP numeric literals" transform. *)
+type fkind = Single | Double [@@deriving show { with_path = false }, eq, ord]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | LAnd
+  | LOr
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Compound-assignment operators: [x = e], [x += e], ... *)
+type assign_op = Set | AddEq | SubEq | MulEq | DivEq
+[@@deriving show { with_path = false }, eq, ord]
+
+type expr = { eid : int; enode : enode; eloc : Loc.t }
+
+and enode =
+  | Int_lit of int
+  | Float_lit of float * fkind
+  | Bool_lit of bool
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Index of expr * expr  (** [a[i]] *)
+  | Call of string * expr list
+  | Cast of typ * expr
+[@@deriving show { with_path = false }]
+
+(** Assignment targets: a scalar variable or an array element. *)
+type lvalue = Lvar of string | Lindex of expr * expr
+[@@deriving show { with_path = false }]
+
+(** A pragma annotation attached to a statement, e.g.
+    [#pragma omp parallel for] is [{ pname = "omp"; pargs = ["parallel"; "for"] }]. *)
+type pragma = { pname : string; pargs : string list }
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Canonical [for]-loop header: [for (int index = init; index < bound; index += step)].
+    The comparison is [<] when [inclusive] is false and [<=] otherwise.
+    Canonical headers are what the loop analyses (trip count, dependence)
+    reason about; MiniC's parser only accepts canonical loops, matching the
+    paper's benchmarks which are all counted loops. *)
+type for_header = {
+  index : string;
+  init : expr;
+  bound : expr;
+  inclusive : bool;
+  step : expr;
+}
+[@@deriving show { with_path = false }]
+
+type stmt = { sid : int; snode : snode; sloc : Loc.t; pragmas : pragma list }
+
+and snode =
+  | Decl of decl
+  | Assign of lvalue * assign_op * expr
+  | Expr_stmt of expr
+  | If of expr * block * block option
+  | For of for_header * block
+  | While of expr * block
+  | Return of expr option
+  | Block of block
+
+and decl = {
+  dtyp : typ;
+  dname : string;
+  dsize : expr option;  (** [Some n] for an array declaration [T name[n]] *)
+  dinit : expr option;
+}
+
+and block = stmt list [@@deriving show { with_path = false }]
+
+(** Function parameter. *)
+type param = { ptyp : typ; pname_ : string }
+[@@deriving show { with_path = false }]
+
+type func = {
+  fname : string;
+  fret : typ;
+  fparams : param list;
+  fbody : block;
+  floc : Loc.t;
+}
+[@@deriving show { with_path = false }]
+
+(** A whole translation unit: global declarations followed by functions.
+    Execution starts at the function named ["main"]. *)
+type program = { globals : stmt list; funcs : func list }
+[@@deriving show { with_path = false }]
+
+(* ------------------------------------------------------------------ *)
+(* Node-id supply                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let id_counter = ref 0
+
+(** Allocate a fresh node id. *)
+let fresh_id () =
+  incr id_counter;
+  !id_counter
+
+(** Reset the id supply. Only used by tests that need reproducible ids. *)
+let reset_ids () = id_counter := 0
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr ?(loc = Loc.none) enode = { eid = fresh_id (); enode; eloc = loc }
+
+let mk_stmt ?(loc = Loc.none) ?(pragmas = []) snode =
+  { sid = fresh_id (); snode; sloc = loc; pragmas }
+
+(* ------------------------------------------------------------------ *)
+(* Generic traversal                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter_expr f e] applies [f] to [e] and all its sub-expressions,
+    pre-order. *)
+let rec iter_expr f e =
+  f e;
+  match e.enode with
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ -> ()
+  | Unop (_, a) | Cast (_, a) -> iter_expr f a
+  | Binop (_, a, b) | Index (a, b) ->
+      iter_expr f a;
+      iter_expr f b
+  | Call (_, args) -> List.iter (iter_expr f) args
+
+(** Expressions appearing directly in a statement (not in nested
+    statements). *)
+let stmt_exprs s =
+  match s.snode with
+  | Decl d -> Option.to_list d.dsize @ Option.to_list d.dinit
+  | Assign (lv, _, e) -> (
+      match lv with Lvar _ -> [ e ] | Lindex (a, i) -> [ a; i; e ])
+  | Expr_stmt e -> [ e ]
+  | If (c, _, _) -> [ c ]
+  | For (h, _) -> [ h.init; h.bound; h.step ]
+  | While (c, _) -> [ c ]
+  | Return eo -> Option.to_list eo
+  | Block _ -> []
+
+(** Sub-blocks of a statement. *)
+let stmt_blocks s =
+  match s.snode with
+  | If (_, b1, b2) -> b1 :: Option.to_list b2
+  | For (_, b) | While (_, b) -> [ b ]
+  | Block b -> [ b ]
+  | Decl _ | Assign _ | Expr_stmt _ | Return _ -> []
+
+(** [iter_stmt f s] applies [f] to [s] and all nested statements,
+    pre-order. *)
+let rec iter_stmt f s =
+  f s;
+  List.iter (fun b -> List.iter (iter_stmt f) b) (stmt_blocks s)
+
+(** Apply [f] to every statement in a block, pre-order. *)
+let iter_block f b = List.iter (iter_stmt f) b
+
+(** Apply [f] to every statement of a function body. *)
+let iter_func f fn = iter_block f fn.fbody
+
+(** Apply [fs] to every statement and [fe] to every expression of a
+    program, pre-order. *)
+let iter_program ?(fs = fun _ -> ()) ?(fe = fun _ -> ()) p =
+  let on_stmt s =
+    fs s;
+    List.iter (iter_expr fe) (stmt_exprs s)
+  in
+  List.iter (iter_stmt on_stmt) p.globals;
+  List.iter (fun fn -> iter_block on_stmt fn.fbody) p.funcs
+
+(** Find the function named [name]. Raises [Not_found]. *)
+let find_func p name = List.find (fun f -> f.fname = name) p.funcs
+
+let find_func_opt p name = List.find_opt (fun f -> f.fname = name) p.funcs
+
+(** All statements of a program as a flat pre-order list. *)
+let all_stmts p =
+  let acc = ref [] in
+  iter_program ~fs:(fun s -> acc := s :: !acc) p;
+  List.rev !acc
+
+(** All statement ids occurring in a program. *)
+let all_stmt_ids p = List.map (fun s -> s.sid) (all_stmts p)
+
+(** True if any node id appears twice in the program; transformations
+    must never produce such a program. *)
+let has_duplicate_ids p =
+  let tbl = Hashtbl.create 256 in
+  let dup = ref false in
+  let check id =
+    if Hashtbl.mem tbl id then dup := true else Hashtbl.add tbl id ()
+  in
+  iter_program ~fs:(fun s -> check s.sid) ~fe:(fun e -> check e.eid) p;
+  !dup
+
+(* ------------------------------------------------------------------ *)
+(* Type utilities                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec string_of_typ = function
+  | Tvoid -> "void"
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tdouble -> "double"
+  | Tptr t -> string_of_typ t ^ "*"
+
+let is_float_typ = function Tfloat | Tdouble -> true | _ -> false
+
+(** Size in bytes of a scalar of type [t] (pointers are 8 bytes). *)
+let sizeof = function
+  | Tvoid -> 0
+  | Tbool -> 1
+  | Tint -> 4
+  | Tfloat -> 4
+  | Tdouble -> 8
+  | Tptr _ -> 8

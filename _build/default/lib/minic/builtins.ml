@@ -1,0 +1,121 @@
+(** Builtin functions known to MiniC.
+
+    Three families:
+    - math builtins in double and single precision (the "employ SP math
+      functions" transform rewrites [sqrt] to [sqrtf], etc.);
+    - GPU specialised intrinsics ([__expf], ...) introduced by the
+      "employ specialised math fns" GPU transform;
+    - runtime helpers used by the benchmarks themselves (deterministic
+      pseudo-random input generation, printing, and the loop-timer hooks
+      that the hotspot-detection task inserts). *)
+
+open Ast
+
+type signature = { args : typ list; ret : typ }
+
+(** FLOP cost class of a math builtin, used by the interpreter's virtual
+    cycle/FLOP accounting and by the FPGA resource estimator. *)
+type cost_class =
+  | Cheap  (** fabs, floor, fmin, fmax: ~1 flop *)
+  | Trig  (** sin, cos, tanh: expensive elementary function *)
+  | Exp_log  (** exp, log *)
+  | Sqrt_div  (** sqrt *)
+  | Power  (** pow *)
+
+let d = Tdouble
+let f = Tfloat
+
+let math_table =
+  (* name, double signature; the 'f'-suffixed single variant is derived *)
+  [
+    ("sqrt", [ d ], Sqrt_div);
+    ("exp", [ d ], Exp_log);
+    ("log", [ d ], Exp_log);
+    ("sin", [ d ], Trig);
+    ("cos", [ d ], Trig);
+    ("tanh", [ d ], Trig);
+    ("pow", [ d; d ], Power);
+    ("fabs", [ d ], Cheap);
+    ("floor", [ d ], Cheap);
+    ("fmin", [ d; d ], Cheap);
+    ("fmax", [ d; d ], Cheap);
+  ]
+
+(** GPU fast-math intrinsics: single precision, hardware special function
+    units.  Introduced only on the GPU branch of the design-flow. *)
+(* no __powf: pow has no hardware special-function path on these parts *)
+let gpu_intrinsics =
+  [ ("__expf", [ f ], Exp_log); ("__logf", [ f ], Exp_log);
+    ("__sinf", [ f ], Trig); ("__cosf", [ f ], Trig);
+    ("__tanhf", [ f ], Trig);
+    ("__fsqrtf", [ f ], Sqrt_div); ("__fdividef", [ f; f ], Sqrt_div) ]
+
+let runtime_table =
+  [
+    (* deterministic pseudo-random generators for self-contained inputs *)
+    ("rand01", { args = []; ret = Tdouble });
+    ("rand_int", { args = [ Tint ]; ret = Tint });
+    (* output *)
+    ("print_int", { args = [ Tint ]; ret = Tvoid });
+    ("print_float", { args = [ Tdouble ]; ret = Tvoid });
+    (* loop-timer hooks inserted by the hotspot-detection task *)
+    ("__timer_start", { args = [ Tint ]; ret = Tvoid });
+    ("__timer_stop", { args = [ Tint ]; ret = Tvoid });
+  ]
+
+(** Full signature table. *)
+let signatures : (string, signature) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (name, args, _) ->
+      Hashtbl.replace tbl name { args; ret = Tdouble };
+      Hashtbl.replace tbl (name ^ "f")
+        { args = List.map (fun _ -> Tfloat) args; ret = Tfloat })
+    math_table;
+  List.iter
+    (fun (name, args, _) -> Hashtbl.replace tbl name { args; ret = Tfloat })
+    gpu_intrinsics;
+  List.iter (fun (name, s) -> Hashtbl.replace tbl name s) runtime_table;
+  tbl
+
+let lookup name = Hashtbl.find_opt signatures name
+let is_builtin name = Hashtbl.mem signatures name
+
+(** Cost class of a math builtin (single- or double-precision name),
+    [None] for non-math builtins. *)
+let cost_class name =
+  let base =
+    if String.length name > 1 && name.[String.length name - 1] = 'f'
+       && Hashtbl.mem signatures (String.sub name 0 (String.length name - 1))
+    then String.sub name 0 (String.length name - 1)
+    else name
+  in
+  match List.assoc_opt base (List.map (fun (n, _, c) -> (n, c)) math_table) with
+  | Some c -> Some c
+  | None ->
+      List.assoc_opt name (List.map (fun (n, _, c) -> (n, c)) gpu_intrinsics)
+
+(** True for the double-precision math builtins that have an 'f' variant:
+    the set the SP-math transform rewrites. *)
+let has_single_variant name =
+  List.mem_assoc name (List.map (fun (n, a, _) -> (n, a)) math_table)
+
+(** Map a double-precision math builtin to its single-precision variant. *)
+let to_single_variant name =
+  if has_single_variant name then Some (name ^ "f") else None
+
+(** Map a single-precision math builtin to the GPU specialised intrinsic,
+    when one exists (e.g. [expf] -> [__expf]). *)
+let to_gpu_intrinsic name =
+  let candidate = "__" ^ name in
+  if List.mem_assoc candidate (List.map (fun (n, a, _) -> (n, a)) gpu_intrinsics)
+  then Some candidate
+  else None
+
+(** Approximate FLOPs charged for one evaluation of a math builtin. *)
+let flops_of_class = function
+  | Cheap -> 1
+  | Sqrt_div -> 4
+  | Exp_log -> 8
+  | Trig -> 8
+  | Power -> 16

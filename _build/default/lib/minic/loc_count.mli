@@ -1,0 +1,15 @@
+(** Lines-of-code metric for the Table I productivity evaluation:
+    non-blank, non-comment lines of the canonical pretty-printed form,
+    so the metric is insensitive to input formatting. *)
+
+(** Count non-blank, non-comment lines in source text. *)
+val count_source : string -> int
+
+(** LOC of a program, measured on its pretty-printed form. *)
+val count_program : Ast.program -> int
+
+(** Added lines of a generated design relative to a reference program. *)
+val delta : reference:Ast.program -> design:Ast.program -> int
+
+(** Added LOC as a percentage of the reference LOC, as in Table I. *)
+val delta_percent : reference:Ast.program -> design:Ast.program -> float

@@ -1,0 +1,59 @@
+(** Tokens produced by the MiniC lexer. *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float * Ast.fkind
+  | IDENT of string
+  | KW_VOID
+  | KW_BOOL
+  | KW_INT
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | PRAGMA of string list  (** [#pragma w1 w2 ...], one token per line *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ASSIGN
+  | PLUS_EQ
+  | MINUS_EQ
+  | STAR_EQ
+  | SLASH_EQ
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ_EQ
+  | NE
+  | AMP_AMP
+  | BAR_BAR
+  | BANG
+  | EOF
+[@@deriving show { with_path = false }, eq]
+
+(** Human-readable token name for parse-error messages. *)
+let describe = function
+  | INT_LIT n -> Printf.sprintf "integer literal %d" n
+  | FLOAT_LIT (f, _) -> Printf.sprintf "float literal %g" f
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | PRAGMA ws -> Printf.sprintf "#pragma %s" (String.concat " " ws)
+  | EOF -> "end of input"
+  | t -> show t

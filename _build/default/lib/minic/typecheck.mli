@@ -1,0 +1,15 @@
+(** Static type checker for MiniC programs. *)
+
+(** Raised on the first violation found, with a message and location. *)
+exception Type_error of string * Loc.t
+
+(** Type-check a whole program.
+
+    @param allow_unknown_calls accept calls to functions MiniC does not
+      know (the target-runtime management calls in generated designs);
+      default false
+    @raise Type_error on the first violation *)
+val check_program : ?allow_unknown_calls:bool -> Ast.program -> unit
+
+(** [true] iff the program type-checks. *)
+val is_well_typed : ?allow_unknown_calls:bool -> Ast.program -> bool

@@ -1,0 +1,1 @@
+lib/transforms/extract.ml: Analysis Artisan Ast Builder Hashtbl List Minic Option Printf String

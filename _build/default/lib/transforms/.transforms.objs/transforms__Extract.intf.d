@@ -1,0 +1,1 @@
+lib/transforms/extract.mli: Ast Minic

@@ -1,0 +1,1 @@
+lib/transforms/omp_pragmas.ml: Analysis Artisan Ast List Minic Printf Reduction String

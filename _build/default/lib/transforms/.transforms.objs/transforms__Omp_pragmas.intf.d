@@ -1,0 +1,1 @@
+lib/transforms/omp_pragmas.mli: Ast Minic

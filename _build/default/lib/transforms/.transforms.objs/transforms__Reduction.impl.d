@@ -1,0 +1,1 @@
+lib/transforms/reduction.ml: Analysis Artisan Ast List Minic

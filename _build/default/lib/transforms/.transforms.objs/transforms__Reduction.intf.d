@@ -1,0 +1,1 @@
+lib/transforms/reduction.mli: Analysis Ast Minic

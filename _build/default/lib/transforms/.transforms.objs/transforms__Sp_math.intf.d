@@ -1,0 +1,1 @@
+lib/transforms/sp_math.mli: Ast Minic

@@ -1,0 +1,1 @@
+lib/transforms/unroll.ml: Analysis Artisan Ast Builder List Minic Option

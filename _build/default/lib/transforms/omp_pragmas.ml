@@ -1,0 +1,90 @@
+(** "Multi-Thread Parallel Loops" — OpenMP-path transform.
+
+    Attaches [#pragma omp parallel for] (with [reduction] clauses for any
+    dependences the reduction-removal task annotated, and a
+    [num_threads] clause once the thread-count DSE has chosen one) to the
+    kernel's outermost parallel loop. *)
+
+open Minic
+
+exception Not_parallel of string
+
+(** The OpenMP reduction clause corresponding to a [psa reduction]
+    annotation clause: scalar clauses pass through, array clauses use the
+    OpenMP 4.5 array-section syntax. *)
+let omp_reduction_clause c =
+  match String.index_opt c ':' with
+  | Some i ->
+      let op = String.sub c 0 i in
+      let var = String.sub c (i + 1) (String.length c - i - 1) in
+      let var =
+        (* "sums[]" -> "sums[:]" array section *)
+        match String.index_opt var '[' with
+        | Some j -> String.sub var 0 j ^ "[:]"
+        | None -> var
+      in
+      Printf.sprintf "reduction(%s:%s)" op var
+  | None -> Printf.sprintf "reduction(+:%s)" c
+
+(** Annotate the outermost loop of [kernel] with
+    [#pragma omp parallel for ...].
+
+    @raise Not_parallel if dependence analysis finds a non-reduction
+      carried dependence. *)
+let parallelize_kernel_loop ?num_threads (p : Ast.program) ~kernel :
+    Ast.program =
+  match Analysis.Dependence.outermost p kernel with
+  | None -> raise (Not_parallel ("no loop in kernel " ^ kernel))
+  | Some info when not info.parallel_with_reductions ->
+      let reasons =
+        info.carried
+        |> List.map (fun (d : Analysis.Dependence.dep) ->
+               d.var ^ ": " ^ Analysis.Dependence.dep_kind_to_string d.kind)
+        |> String.concat "; "
+      in
+      raise (Not_parallel ("loop carries dependences: " ^ reasons))
+  | Some info ->
+      let loop_stmt =
+        Artisan.Query.(
+          stmts_in ~where:(fun ctx -> ctx.stmt.sid = info.loop_sid) p kernel)
+        |> List.hd
+      in
+      let red_clauses =
+        Reduction.clauses_of loop_stmt.Artisan.Query.stmt
+        |> List.map omp_reduction_clause
+      in
+      let nt_clause =
+        match num_threads with
+        | Some n -> [ Printf.sprintf "num_threads(%d)" n ]
+        | None -> []
+      in
+      Artisan.Instrument.set_pragma ~target:info.loop_sid
+        {
+          Ast.pname = "omp";
+          pargs = [ "parallel"; "for" ] @ red_clauses @ nt_clause;
+        }
+        p
+
+(** Thread count from the [num_threads] clause on the kernel's outer
+    loop, if set. *)
+let annotated_num_threads (p : Ast.program) ~kernel : int option =
+  match
+    Artisan.Query.(stmts_in ~where:(is_for &&& is_outermost_loop) p kernel)
+  with
+  | m :: _ ->
+      List.find_map
+        (fun (pr : Ast.pragma) ->
+          if pr.pname <> "omp" then None
+          else
+            List.find_map
+              (fun arg ->
+                if
+                  String.length arg > 12
+                  && String.sub arg 0 12 = "num_threads("
+                then
+                  int_of_string_opt
+                    (String.sub arg 12 (String.length arg - 13))
+                else None)
+              pr.pargs)
+        m.Artisan.Query.stmt.pragmas
+  | [] -> None

@@ -1,0 +1,23 @@
+(** "Multi-Thread Parallel Loops" — OpenMP-path transform.
+
+    Attaches [#pragma omp parallel for] (with reduction clauses derived
+    from the reduction-removal annotations, and a [num_threads] clause
+    once the thread-count DSE has chosen one) to the kernel's outermost
+    parallel loop. *)
+
+open Minic
+
+exception Not_parallel of string
+
+(** The OpenMP reduction clause for a [psa reduction] annotation clause
+    (array clauses use the OpenMP 4.5 array-section syntax). *)
+val omp_reduction_clause : string -> string
+
+(** Annotate the kernel's outermost loop.
+    @raise Not_parallel if dependence analysis finds a non-reduction
+      carried dependence, or the kernel has no loop *)
+val parallelize_kernel_loop :
+  ?num_threads:int -> Ast.program -> kernel:string -> Ast.program
+
+(** Thread count from the [num_threads] clause, if set. *)
+val annotated_num_threads : Ast.program -> kernel:string -> int option

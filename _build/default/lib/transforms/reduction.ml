@@ -1,0 +1,57 @@
+(** "Remove Array += Dependency" — target-independent transform.
+
+    Accumulations into shared arrays ([sums[c] += x]) carry a dependence
+    that blocks naive parallelisation.  This task detects them with the
+    dependence analysis and annotates the loop so each backend can apply
+    its removal strategy:
+
+    - OpenMP: array/scalar [reduction] clauses,
+    - HIP: atomic updates,
+    - oneAPI/FPGA: replicated local accumulators merged after the loop.
+
+    The annotation is the pragma [#pragma psa reduction <op>:<var> ...]
+    attached to the loop statement, and the loop is thereafter treated as
+    parallel by the flow (its [parallel_with_reductions] classification). *)
+
+open Minic
+
+let op_symbol = function
+  | Ast.AddEq -> "+"
+  | Ast.SubEq -> "-"
+  | Ast.MulEq -> "*"
+  | Ast.DivEq -> "/"
+  | Ast.Set -> "="
+
+(** Pragma spelling for one reduction dependence. *)
+let clause (d : Analysis.Dependence.dep) =
+  match d.kind with
+  | Analysis.Dependence.Scalar_reduction op -> op_symbol op ^ ":" ^ d.var
+  | Analysis.Dependence.Array_reduction op -> op_symbol op ^ ":" ^ d.var ^ "[]"
+  | Analysis.Dependence.Carried _ -> assert false
+
+(** Annotate every loop of [kernel] that carries removable reduction
+    dependences.  Returns the transformed program and the number of loops
+    annotated. *)
+let remove_array_dependencies (p : Ast.program) ~kernel : Ast.program * int =
+  let infos = Analysis.Dependence.analyze_function p kernel in
+  List.fold_left
+    (fun (p, n) (info : Analysis.Dependence.loop_info) ->
+      if info.reductions = [] then (p, n)
+      else
+        let args = List.map clause info.reductions in
+        ( Artisan.Instrument.set_pragma ~target:info.loop_sid
+            { Ast.pname = "psa"; pargs = "reduction" :: args }
+            p,
+          n + 1 ))
+    (p, 0) infos
+
+(** Reduction clauses previously annotated on a statement. *)
+let clauses_of (s : Ast.stmt) : string list =
+  List.concat_map
+    (fun (pr : Ast.pragma) ->
+      match pr.pargs with
+      | "reduction" :: rest when pr.pname = "psa" -> rest
+      | _ -> [])
+    s.pragmas
+
+let has_annotation s = clauses_of s <> []

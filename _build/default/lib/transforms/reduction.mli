@@ -1,0 +1,23 @@
+(** "Remove Array += Dependency" — target-independent transform.
+
+    Detects accumulations into shared arrays/scalars with the dependence
+    analysis and annotates the loop ([#pragma psa reduction op:var ...])
+    so each backend applies its removal strategy: OpenMP reduction
+    clauses, HIP atomics, FPGA accumulator replication. *)
+
+open Minic
+
+(** Pragma clause spelling ("+:var" scalar, "+:var[]" array) for one
+    reduction dependence.
+    @raise Assert_failure on carried (non-reduction) dependences *)
+val clause : Analysis.Dependence.dep -> string
+
+(** Annotate every loop of [kernel] carrying removable reductions.
+    Returns the transformed program and the number of loops annotated. *)
+val remove_array_dependencies :
+  Ast.program -> kernel:string -> Ast.program * int
+
+(** Reduction clauses previously annotated on a statement. *)
+val clauses_of : Ast.stmt -> string list
+
+val has_annotation : Ast.stmt -> bool

@@ -1,0 +1,96 @@
+(** "Employ SP Math Fns" and "Employ SP Numeric Literals" —
+    accelerator-path transforms.
+
+    Accelerators pay heavily for double precision (GPU FP64 throughput,
+    FPGA resource cost), so the GPU and FPGA branches rewrite the kernel
+    to single precision: [sqrt] becomes [sqrtf], [2.0] becomes [2.0f], and
+    the kernel's [double] declarations and pointer parameters become
+    [float].  The host keeps doubles; the management code generated later
+    converts at the boundary.
+
+    "Employ Specialised Math Fns" additionally maps SP math calls to the
+    GPU's hardware intrinsics ([expf] -> [__expf]): cheaper and slightly
+    less accurate, applied only on the GPU branch. *)
+
+open Minic
+
+(** Rewrite double-precision math builtins to their 'f' variants within
+    the kernel function. *)
+let employ_sp_math (p : Ast.program) ~kernel : Ast.program =
+  Artisan.Rewrite.map_exprs_in
+    (fun e ->
+      match e.Ast.enode with
+      | Ast.Call (f, args) -> (
+          match Minic.Builtins.to_single_variant f with
+          | Some f' -> { e with Ast.enode = Ast.Call (f', args) }
+          | None -> e)
+      | _ -> e)
+    kernel p
+
+(** Rewrite double literals to single-precision literals within the
+    kernel function. *)
+let employ_sp_literals (p : Ast.program) ~kernel : Ast.program =
+  Artisan.Rewrite.map_exprs_in
+    (fun e ->
+      match e.Ast.enode with
+      | Ast.Float_lit (v, Ast.Double) ->
+          { e with Ast.enode = Ast.Float_lit (v, Ast.Single) }
+      | _ -> e)
+    kernel p
+
+(** Demote the kernel's [double] declarations and parameters to [float]. *)
+let demote_kernel_types (p : Ast.program) ~kernel : Ast.program =
+  let demote = function
+    | Ast.Tdouble -> Ast.Tfloat
+    | Ast.Tptr Ast.Tdouble -> Ast.Tptr Ast.Tfloat
+    | t -> t
+  in
+  let funcs =
+    List.map
+      (fun (f : Ast.func) ->
+        if f.fname <> kernel then f
+        else
+          let fparams =
+            List.map
+              (fun (pr : Ast.param) -> { pr with Ast.ptyp = demote pr.ptyp })
+              f.fparams
+          in
+          let fbody =
+            Artisan.Rewrite.edit_block
+              (fun s ->
+                match s.Ast.snode with
+                | Ast.Decl d ->
+                    [ { s with Ast.snode = Ast.Decl { d with dtyp = demote d.dtyp } } ]
+                | _ -> [ s ])
+              f.fbody
+          in
+          { f with fparams; fbody })
+      p.Ast.funcs
+  in
+  { p with Ast.funcs }
+
+(** Full single-precision conversion of the kernel: SP math + SP literals
+    + demoted types. *)
+let to_single_precision (p : Ast.program) ~kernel : Ast.program =
+  demote_kernel_types (employ_sp_literals (employ_sp_math p ~kernel) ~kernel)
+    ~kernel
+
+(** Map SP math calls in the kernel to GPU hardware intrinsics
+    ([expf] -> [__expf], ...).  Returns the program and how many call
+    sites were specialised. *)
+let employ_gpu_intrinsics (p : Ast.program) ~kernel : Ast.program * int =
+  let count = ref 0 in
+  let p =
+    Artisan.Rewrite.map_exprs_in
+      (fun e ->
+        match e.Ast.enode with
+        | Ast.Call (f, args) -> (
+            match Minic.Builtins.to_gpu_intrinsic f with
+            | Some f' ->
+                incr count;
+                { e with Ast.enode = Ast.Call (f', args) }
+            | None -> e)
+        | _ -> e)
+      kernel p
+  in
+  (p, !count)

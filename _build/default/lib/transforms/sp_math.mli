@@ -1,0 +1,27 @@
+(** Single-precision conversion transforms ("Employ SP Math Fns",
+    "Employ SP Numeric Literals", "Employ Specialised Math Fns").
+
+    Accelerators pay heavily for double precision; the GPU and FPGA
+    branches rewrite the kernel to single precision, and the GPU branch
+    additionally maps SP math onto hardware intrinsics. *)
+
+open Minic
+
+(** Rewrite double-precision math builtins to their 'f' variants within
+    the kernel function. *)
+val employ_sp_math : Ast.program -> kernel:string -> Ast.program
+
+(** Rewrite double literals to single-precision literals within the
+    kernel function. *)
+val employ_sp_literals : Ast.program -> kernel:string -> Ast.program
+
+(** Demote the kernel's [double] declarations and parameters to [float]. *)
+val demote_kernel_types : Ast.program -> kernel:string -> Ast.program
+
+(** Full SP conversion: SP math + SP literals + demoted types. *)
+val to_single_precision : Ast.program -> kernel:string -> Ast.program
+
+(** Map SP math calls in the kernel to GPU hardware intrinsics
+    ([expf] -> [__expf], ...).  Returns the program and the number of
+    call sites specialised. *)
+val employ_gpu_intrinsics : Ast.program -> kernel:string -> Ast.program * int

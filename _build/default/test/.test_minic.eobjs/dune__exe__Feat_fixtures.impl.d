@@ -1,0 +1,1 @@
+test/feat_fixtures.ml: Analysis Codegen Features Intensity Minic Opcount Option

@@ -1,0 +1,1 @@
+test/helpers.ml: Float Minic Minic_interp QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alias Analysis Artisan Data_inout Dependence Extrapolate Features Float Helpers Hotspot Intensity List Minic Minic_interp Printf QCheck Trip_count

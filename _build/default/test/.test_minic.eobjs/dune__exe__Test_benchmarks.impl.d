@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Bench_app Benchmarks Codegen Devices Float List Minic Minic_interp Printf Psa Registry String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Analysis Artisan Astring_contains Codegen Design Helpers Hip_gen List Minic Oneapi_gen Openmp_gen Option Transforms

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Analysis Codegen Cpu_model Devices Feat_fixtures Float Fpga_model Gpu_model Helpers List QCheck Simulate Spec Transfer

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Codegen Dse Feat_fixtures Float List

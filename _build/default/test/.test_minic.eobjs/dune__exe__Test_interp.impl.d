@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Eval Float Hashtbl Helpers List Minic Minic_interp Profile String Value

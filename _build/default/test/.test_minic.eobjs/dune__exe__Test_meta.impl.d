@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Artisan Ast Astring_contains Builder Helpers Instrument List Minic Minic_interp Query Rewrite

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Artisan Ast Astring_contains Builtins Helpers Lexer List Loc Loc_count Minic Minic_interp Parser Pretty Seq String Token Typecheck

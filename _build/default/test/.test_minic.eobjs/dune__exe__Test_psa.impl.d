@@ -1,0 +1,1 @@
+test/test_psa.ml: Alcotest Analysis Astring_contains Benchmarks Codegen Devices Feat_fixtures List Minic Printf Psa

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Analysis Artisan Astring_contains Extract Helpers List Minic Minic_interp Omp_pragmas Option Reduction Sp_math String Transforms Unroll

@@ -1,0 +1,102 @@
+(** Synthetic kernel feature vectors for device-model and DSE tests. *)
+
+open Analysis
+
+let ops ?(fadd = 0.0) ?(fmul = 0.0) ?(fdiv = 0.0) ?(sqrt = 0.0)
+    ?(exp_log = 0.0) ?(trig = 0.0) ?(power = 0.0) ?(int_ops = 0.0)
+    ?(loads = 0.0) ?(stores = 0.0) ?(cheap = 0.0) () : Opcount.t =
+  {
+    fadd;
+    fmul;
+    fdiv;
+    sqrt;
+    exp_log;
+    trig;
+    power;
+    int_ops;
+    loads;
+    stores;
+    cheap_math = cheap;
+  }
+
+(** A plain compute-bound parallel kernel: N iterations, modest per-iter
+    work, small transfers. *)
+let make ?(kernel = "k") ?(calls = 1) ?(outer_trip = 1_000_000.0)
+    ?(flops_per_iter = 50.0) ?(bytes_in_per_iter = 8.0)
+    ?(bytes_out_per_iter = 8.0) ?(cpu_cycles_per_iter = 100.0)
+    ?(regs = 40) ?(locals = 6) ?(gather_fraction = 0.0) ?(gathered_args = [])
+    ?(inner_loops = []) ?(outer_parallel = true)
+    ?(outer_has_reductions = false) ?(ops_per_iter = ops ~fadd:25.0 ~fmul:25.0 ~loads:2.0 ~stores:1.0 ())
+    ?hw_ops ?(inner_read_bytes = 0) ?(args = []) () : Features.t =
+  let calls_f = float_of_int calls in
+  ignore calls_f;
+  {
+    kernel;
+    calls;
+    outer_trip;
+    flops_per_call = flops_per_iter *. outer_trip;
+    sfu_per_call = 0.0;
+    bytes_accessed_per_call =
+      (bytes_in_per_iter +. bytes_out_per_iter) *. outer_trip;
+    bytes_in_per_call = bytes_in_per_iter *. outer_trip;
+    bytes_out_per_call = bytes_out_per_iter *. outer_trip;
+    cpu_cycles_per_call = cpu_cycles_per_iter *. outer_trip;
+    ops_per_iter;
+    hw_ops_per_iter = Option.value hw_ops ~default:ops_per_iter;
+    inner_read_bytes;
+    outer_parallel;
+    outer_has_reductions;
+    inner_loops;
+    regs_estimate = regs;
+    locals_count = locals;
+    gather_fraction;
+    gathered_args;
+    args;
+    intensity =
+      {
+        Intensity.flops = flops_per_iter;
+        bytes = bytes_in_per_iter +. bytes_out_per_iter;
+        flops_per_byte =
+          flops_per_iter /. (bytes_in_per_iter +. bytes_out_per_iter);
+      };
+    no_alias = true;
+  }
+
+(** A design record for timing tests without running a generator. *)
+let design ?(target = Codegen.Design.Gpu_hip) ?(device_id = "rtx2080ti")
+    ?(blocksize = 256) ?(unroll = 1) ?(threads = 32) ?(sp = true)
+    ?(pinned = true) ?(zero_copy = false) ?(smem = false)
+    ?(intrinsics = true) ?(reductions = false) () : Codegen.Design.t =
+  (* a real (tiny) program so source-editing DSE helpers have a kernel
+     loop to annotate *)
+  let p =
+    Minic.Parser.parse_program
+      {|
+void k(double* a, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + 1.0;
+  }
+}
+int main() {
+  double a[4];
+  k(a, 4);
+  return 0;
+}
+|}
+  in
+  let d =
+    Codegen.Design.make ~name:"test" ~target ~device_id ~program:p ~kernel:"k"
+      ~device_kernel:"k"
+  in
+  {
+    d with
+    Codegen.Design.blocksize;
+    unroll_factor = unroll;
+    num_threads = threads;
+    single_precision = sp;
+    pinned_memory = pinned;
+    zero_copy;
+    shared_mem = smem;
+    gpu_intrinsics = intrinsics;
+    reductions_removed = reductions;
+  }

@@ -1,0 +1,333 @@
+(** Tests for the device models: CPU scaling, GPU occupancy/roofline
+    behaviour, FPGA resources and pipeline timing, transfer estimation —
+    including qcheck properties (monotonicity, bounds). *)
+
+open Devices
+
+let epyc = Spec.epyc7543
+let p2080 = Spec.rtx2080ti
+let p1080 = Spec.gtx1080ti
+let a10 = Spec.arria10
+let s10 = Spec.stratix10
+
+let spec_tests =
+  [
+    Alcotest.test_case "registry finds every device" `Quick (fun () ->
+        List.iter
+          (fun id ->
+            Alcotest.(check string) "roundtrip" id (Spec.id (Spec.find id)))
+          [ "epyc7543"; "gtx1080ti"; "rtx2080ti"; "arria10"; "stratix10" ]);
+    Alcotest.test_case "unknown device raises" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (Spec.find_opt "tpu" = None));
+    Alcotest.test_case "typed accessors reject wrong kind" `Quick (fun () ->
+        match Spec.find_gpu "epyc7543" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "paper devices have paper-shaped parameters" `Quick
+      (fun () ->
+        Alcotest.(check int) "EPYC cores" 32 epyc.cores;
+        Alcotest.(check bool) "2080 Ti has more SMs" true (p2080.sms > p1080.sms);
+        Alcotest.(check bool) "S10 is the bigger FPGA" true (s10.alms > a10.alms);
+        Alcotest.(check bool) "only S10 supports USM" true
+          (s10.supports_usm && not a10.supports_usm));
+  ]
+
+let cpu_tests =
+  [
+    Alcotest.test_case "single thread equals reference" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let r = Cpu_model.time epyc f ~threads:1 in
+        Alcotest.(check (float 1e-9)) "t1 = tN at 1 thread" r.t_single
+          r.t_parallel);
+    Alcotest.test_case "32 threads gives 28-30x on parallel loops" `Quick
+      (fun () ->
+        let f = Feat_fixtures.make () in
+        let r = Cpu_model.time epyc f ~threads:32 in
+        Alcotest.(check bool) "paper range" true
+          (r.speedup >= 28.0 && r.speedup <= 30.5));
+    Alcotest.test_case "sequential loop cannot scale" `Quick (fun () ->
+        let f = Feat_fixtures.make ~outer_parallel:false () in
+        let r = Cpu_model.time epyc f ~threads:32 in
+        Alcotest.(check int) "clamped to 1 thread" 1 r.threads;
+        Alcotest.(check (float 1e-6)) "no speedup" 1.0 r.speedup);
+    Alcotest.test_case "thread count clamped to cores" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let r = Cpu_model.time epyc f ~threads:1000 in
+        Alcotest.(check int) "32" 32 r.threads);
+    Helpers.qtest ~count:50 "speedup is monotone in threads"
+      QCheck.(int_range 1 31)
+      (fun t ->
+        let f = Feat_fixtures.make () in
+        let a = Cpu_model.time epyc f ~threads:t in
+        let b = Cpu_model.time epyc f ~threads:(t + 1) in
+        b.speedup >= a.speedup *. 0.99);
+  ]
+
+let gpu_tests =
+  [
+    Alcotest.test_case "occupancy within [0,1]" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let r = Gpu_model.time p2080 (Feat_fixtures.design ()) f in
+        Alcotest.(check bool) "bounds" true
+          (r.occupancy >= 0.0 && r.occupancy <= 1.0));
+    Alcotest.test_case "register pressure lowers occupancy" `Quick (fun () ->
+        let light = Feat_fixtures.make ~regs:32 () in
+        let heavy = Feat_fixtures.make ~regs:255 () in
+        let d = Feat_fixtures.design ~blocksize:256 () in
+        let rl = Gpu_model.time p2080 d light in
+        let rh = Gpu_model.time p2080 d heavy in
+        Alcotest.(check bool) "heavy occupancy lower" true
+          (rh.occupancy < rl.occupancy);
+        Alcotest.(check bool) "heavy not meaningfully faster" true
+          (rh.total >= rl.total *. 0.9));
+    Alcotest.test_case "huge blocksize with huge registers is infeasible"
+      `Quick (fun () ->
+        let f = Feat_fixtures.make ~regs:255 () in
+        let d = Feat_fixtures.design ~blocksize:1024 () in
+        let r = Gpu_model.time p2080 d f in
+        Alcotest.(check bool) "infeasible" false r.feasible);
+    Alcotest.test_case "small grids underutilise the device" `Quick (fun () ->
+        let big = Feat_fixtures.make ~outer_trip:1_000_000.0 () in
+        let small = Feat_fixtures.make ~outer_trip:1_000.0 () in
+        let d = Feat_fixtures.design () in
+        let rb = Gpu_model.time p2080 d big in
+        let rs = Gpu_model.time p2080 d small in
+        Alcotest.(check bool) "speedup collapses on small grids" true
+          (rs.speedup < rb.speedup /. 2.0));
+    Alcotest.test_case "pinned memory speeds transfers" `Quick (fun () ->
+        let f = Feat_fixtures.make ~bytes_in_per_iter:64.0 () in
+        let fast = Gpu_model.time p2080 (Feat_fixtures.design ~pinned:true ()) f in
+        let slow = Gpu_model.time p2080 (Feat_fixtures.design ~pinned:false ()) f in
+        Alcotest.(check bool) "pinned faster" true
+          (fast.t_transfer < slow.t_transfer));
+    Alcotest.test_case "intrinsics speed exp-heavy kernels" `Quick (fun () ->
+        let f =
+          Feat_fixtures.make
+            ~ops_per_iter:(Feat_fixtures.ops ~exp_log:10.0 ~fadd:5.0 ())
+            ()
+        in
+        let fast = Gpu_model.time p2080 (Feat_fixtures.design ~intrinsics:true ()) f in
+        let slow = Gpu_model.time p2080 (Feat_fixtures.design ~intrinsics:false ()) f in
+        Alcotest.(check bool) "intrinsics faster" true
+          (fast.t_compute < slow.t_compute));
+    Alcotest.test_case "double precision pays the consumer penalty" `Quick
+      (fun () ->
+        let f = Feat_fixtures.make () in
+        let sp = Gpu_model.time p2080 (Feat_fixtures.design ~sp:true ()) f in
+        let dp = Gpu_model.time p2080 (Feat_fixtures.design ~sp:false ()) f in
+        Alcotest.(check bool) "dp much slower" true
+          (dp.t_compute > sp.t_compute *. 8.0));
+    Alcotest.test_case "atomics serialise reductions" `Quick (fun () ->
+        let f =
+          Feat_fixtures.make
+            ~ops_per_iter:(Feat_fixtures.ops ~fadd:5.0 ~stores:10.0 ())
+            ()
+        in
+        let plain = Gpu_model.time p2080 (Feat_fixtures.design ~reductions:false ()) f in
+        let atomics = Gpu_model.time p2080 (Feat_fixtures.design ~reductions:true ()) f in
+        Alcotest.(check bool) "atomics slower" true
+          (atomics.t_kernel > plain.t_kernel));
+    Alcotest.test_case "gathers outside smem are penalised" `Quick (fun () ->
+        let coalesced = Feat_fixtures.make ~bytes_in_per_iter:64.0 () in
+        let gathered =
+          Feat_fixtures.make ~bytes_in_per_iter:64.0 ~gather_fraction:0.8
+            ~gathered_args:[ "t" ]
+            ~args:
+              [
+                {
+                  Analysis.Features.af_name = "t";
+                  af_footprint = 8_000_000;
+                  af_bytes_in = 0.0;
+                  af_bytes_out = 0.0;
+                };
+              ]
+            ()
+        in
+        let d = Feat_fixtures.design () in
+        let rc = Gpu_model.time p2080 d coalesced in
+        let rg = Gpu_model.time p2080 d gathered in
+        Alcotest.(check bool) "gathers slower" true (rg.t_mem > rc.t_mem *. 4.0));
+    Helpers.qtest ~count:40 "time positive and finite for feasible designs"
+      QCheck.(int_range 5 10)
+      (fun log_trip ->
+        let f =
+          Feat_fixtures.make ~outer_trip:(Float.of_int (1 lsl log_trip)) ()
+        in
+        let r = Gpu_model.time p2080 (Feat_fixtures.design ()) f in
+        (not r.feasible) || (r.total > 0.0 && Float.is_finite r.total));
+  ]
+
+let fpga_tests =
+  [
+    Alcotest.test_case "resources grow linearly with unroll" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let d = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~device_id:"stratix10" () in
+        let r1 = Fpga_model.resources s10 d f ~unroll:1 in
+        let r2 = Fpga_model.resources s10 d f ~unroll:2 in
+        let r4 = Fpga_model.resources s10 d f ~unroll:4 in
+        Alcotest.(check bool) "monotone" true
+          (r1.alms_used < r2.alms_used && r2.alms_used < r4.alms_used));
+    Alcotest.test_case "sp costs less area than dp" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let dsp = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~sp:true () in
+        let ddp = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~sp:false () in
+        let rs = Fpga_model.resources s10 dsp f ~unroll:1 in
+        let rd = Fpga_model.resources s10 ddp f ~unroll:1 in
+        Alcotest.(check bool) "sp smaller" true (rs.alms_used < rd.alms_used));
+    Alcotest.test_case "exp-heavy deep kernels overmap (Rush Larsen shape)"
+      `Quick (fun () ->
+        let f =
+          Feat_fixtures.make ~locals:60
+            ~ops_per_iter:
+              (Feat_fixtures.ops ~exp_log:30.0 ~fdiv:15.0 ~fadd:80.0
+                 ~fmul:60.0 ())
+            ()
+        in
+        let d = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~sp:true () in
+        let ra = Fpga_model.resources a10 d f ~unroll:1 in
+        Alcotest.(check bool) "A10 does not fit" false ra.fits);
+    Alcotest.test_case "unroll speeds the pipeline" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let d u = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~unroll:u () in
+        let t1 = (Fpga_model.time s10 (d 1) f).t_pipe in
+        let t4 = (Fpga_model.time s10 (d 4) f).t_pipe in
+        Alcotest.(check bool) "4x unroll ~4x faster pipe" true
+          (t4 < t1 /. 2.0));
+    Alcotest.test_case "non-unrollable inner reduction raises II" `Quick
+      (fun () ->
+        let inner =
+          {
+            Analysis.Features.il_sid = 1;
+            il_static_trip = None;
+            il_mean_trip = 100.0;
+            il_iters_per_outer = 100.0;
+            il_innermost = true;
+            il_parallel = false;
+            il_has_reduction = true;
+            il_fully_unrollable = false;
+          }
+        in
+        let flat = Feat_fixtures.make () in
+        let nested = Feat_fixtures.make ~inner_loops:[ inner ] () in
+        Alcotest.(check (float 1e-9)) "flat II" 1.0
+          (Fpga_model.effective_ii s10 flat);
+        Alcotest.(check (float 1e-9)) "nested II" (100.0 *. 6.0)
+          (Fpga_model.effective_ii s10 nested));
+    Alcotest.test_case "fully unrollable inner loops keep II=1" `Quick
+      (fun () ->
+        let inner =
+          {
+            Analysis.Features.il_sid = 1;
+            il_static_trip = Some 16;
+            il_mean_trip = 16.0;
+            il_iters_per_outer = 16.0;
+            il_innermost = true;
+            il_parallel = false;
+            il_has_reduction = true;
+            il_fully_unrollable = true;
+          }
+        in
+        let f = Feat_fixtures.make ~inner_loops:[ inner ] () in
+        Alcotest.(check (float 1e-9)) "II stays 1" 1.0
+          (Fpga_model.effective_ii s10 f));
+    Alcotest.test_case "zero-copy overlaps transfer on the S10" `Quick
+      (fun () ->
+        let f = Feat_fixtures.make ~bytes_in_per_iter:64.0 () in
+        let buf = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~zero_copy:false () in
+        let usm = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~zero_copy:true () in
+        let rb = Fpga_model.time s10 buf f in
+        let ru = Fpga_model.time s10 usm f in
+        Alcotest.(check bool) "zero-copy faster" true (ru.t_call < rb.t_call));
+    Alcotest.test_case "unsynthesizable design reports infinite time" `Quick
+      (fun () ->
+        let f =
+          Feat_fixtures.make ~locals:80
+            ~ops_per_iter:(Feat_fixtures.ops ~exp_log:60.0 ~fdiv:30.0 ())
+            ()
+        in
+        let d = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi ~device_id:"arria10" () in
+        let r = Fpga_model.time a10 d f in
+        Alcotest.(check bool) "infinite" true (r.total = infinity);
+        Alcotest.(check (float 0.0)) "no speedup" 0.0 r.speedup);
+    Alcotest.test_case "BRAM replication limits unroll via utilisation" `Quick
+      (fun () ->
+        let f = Feat_fixtures.make ~inner_read_bytes:4_000_000 () in
+        let d = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi () in
+        let r1 = Fpga_model.resources a10 d f ~unroll:1 in
+        let r2 = Fpga_model.resources a10 d f ~unroll:2 in
+        Alcotest.(check bool) "u=1 fits" true r1.fits;
+        Alcotest.(check bool) "u=2 does not" false r2.fits);
+    Helpers.qtest ~count:30 "utilization consistent with fits flag"
+      QCheck.(int_range 1 64)
+      (fun u ->
+        let f = Feat_fixtures.make () in
+        let d = Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi () in
+        let r = Fpga_model.resources s10 d f ~unroll:u in
+        r.fits = (r.utilization <= 1.0));
+  ]
+
+let transfer_tests =
+  [
+    Alcotest.test_case "estimated seconds scale with bytes" `Quick (fun () ->
+        let small = Feat_fixtures.make ~bytes_in_per_iter:8.0 () in
+        let big = Feat_fixtures.make ~bytes_in_per_iter:80.0 () in
+        Alcotest.(check bool) "more bytes, more time" true
+          (Transfer.estimated_seconds big > Transfer.estimated_seconds small));
+    Alcotest.test_case "transfer dominates cheap kernels" `Quick (fun () ->
+        let cheap =
+          Feat_fixtures.make ~cpu_cycles_per_iter:5.0 ~bytes_in_per_iter:800.0
+            ()
+        in
+        Alcotest.(check bool) "dominates" true (Transfer.transfer_dominates cheap);
+        let heavy =
+          Feat_fixtures.make ~cpu_cycles_per_iter:10_000.0
+            ~bytes_in_per_iter:8.0 ()
+        in
+        Alcotest.(check bool) "does not dominate" false
+          (Transfer.transfer_dominates heavy));
+  ]
+
+let simulate_tests =
+  [
+    Alcotest.test_case "dispatch selects the right model" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let cpu_r =
+          Simulate.run
+            (Feat_fixtures.design ~target:Codegen.Design.Cpu_openmp
+               ~device_id:"epyc7543" ())
+            f
+        in
+        (match cpu_r.detail with
+        | Simulate.Cpu_detail _ -> ()
+        | _ -> Alcotest.fail "expected cpu detail");
+        let gpu_r = Simulate.run (Feat_fixtures.design ()) f in
+        match gpu_r.detail with
+        | Simulate.Gpu_detail _ -> ()
+        | _ -> Alcotest.fail "expected gpu detail");
+    Alcotest.test_case "unsynthesizable designs are infeasible" `Quick
+      (fun () ->
+        let f = Feat_fixtures.make () in
+        let d =
+          Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi
+            ~device_id:"arria10" ()
+        in
+        let d = { d with Codegen.Design.synthesizable = false } in
+        let r = Simulate.run d f in
+        Alcotest.(check bool) "infeasible" false r.feasible);
+    Alcotest.test_case "speedup consistency: ref / seconds" `Quick (fun () ->
+        let f = Feat_fixtures.make () in
+        let r = Simulate.run (Feat_fixtures.design ()) f in
+        let expected = Simulate.reference_seconds f /. r.seconds in
+        Alcotest.(check (float 1e-6)) "consistent" expected r.speedup);
+  ]
+
+let () =
+  Alcotest.run "devices"
+    [
+      ("spec", spec_tests);
+      ("cpu", cpu_tests);
+      ("gpu", gpu_tests);
+      ("fpga", fpga_tests);
+      ("transfer", transfer_tests);
+      ("simulate", simulate_tests);
+    ]

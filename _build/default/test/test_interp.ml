@@ -1,0 +1,403 @@
+(** Tests for the MiniC interpreter/profiler: evaluation semantics, the
+    virtual-cycle cost model, loop statistics, timers, kernel-focus
+    observations and determinism. *)
+
+open Minic_interp
+
+let eval_main body = Helpers.float_output ("int main() {" ^ body ^ "}")
+
+let eval_int body =
+  int_of_string (Helpers.first_output ("int main() {" ^ body ^ "}"))
+
+let semantics_tests =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick (fun () ->
+        Alcotest.(check int) "17" 17
+          (eval_int "print_int(2 + 3 * 5); return 0;"));
+    Alcotest.test_case "float arithmetic" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "2.5" 2.5
+          (eval_main "print_float(10.0 / 4.0); return 0;"));
+    Alcotest.test_case "modulo" `Quick (fun () ->
+        Alcotest.(check int) "2" 2 (eval_int "print_int(17 % 5); return 0;"));
+    Alcotest.test_case "comparison and logic" `Quick (fun () ->
+        Alcotest.(check int) "1" 1
+          (eval_int
+             "if (1 < 2 && !(3 <= 2)) { print_int(1); } else { print_int(0); } return 0;"));
+    Alcotest.test_case "short-circuit && skips rhs" `Quick (fun () ->
+        Alcotest.(check int) "0" 0
+          (eval_int
+             "int z = 0; if (false && 1 / z == 0) { print_int(1); } else { print_int(0); } return 0;"));
+    Alcotest.test_case "short-circuit || skips rhs" `Quick (fun () ->
+        Alcotest.(check int) "1" 1
+          (eval_int
+             "int z = 0; if (true || 1 / z == 0) { print_int(1); } else { print_int(0); } return 0;"));
+    Alcotest.test_case "while loop" `Quick (fun () ->
+        Alcotest.(check int) "10" 10
+          (eval_int "int i = 0; while (i < 10) { i++; } print_int(i); return 0;"));
+    Alcotest.test_case "for loop with step" `Quick (fun () ->
+        Alcotest.(check int) "20" 20
+          (eval_int
+             "int s = 0; for (int i = 0; i < 10; i += 2) { s += i; } print_int(s); return 0;"));
+    Alcotest.test_case "inclusive for bound" `Quick (fun () ->
+        Alcotest.(check int) "55" 55
+          (eval_int
+             "int s = 0; for (int i = 1; i <= 10; i++) { s += i; } print_int(s); return 0;"));
+    Alcotest.test_case "arrays store and load" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "6.0" 6.0
+          (eval_main
+             "double a[3]; a[0] = 1.0; a[1] = 2.0; a[2] = 3.0; print_float(a[0] + a[1] + a[2]); return 0;"));
+    Alcotest.test_case "compound array assignment" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "7.0" 7.0
+          (eval_main
+             "double a[1]; a[0] = 3.0; a[0] += 4.0; print_float(a[0]); return 0;"));
+    Alcotest.test_case "pointer passing mutates caller array" `Quick (fun () ->
+        let src =
+          {|
+void fill(double* a, int n) {
+  for (int i = 0; i < n; i++) { a[i] = (double)i; }
+}
+int main() {
+  double a[4];
+  fill(a, 4);
+  print_float(a[3]);
+  return 0;
+}
+|}
+        in
+        Alcotest.(check (float 1e-9)) "3.0" 3.0 (Helpers.float_output src));
+    Alcotest.test_case "recursion" `Quick (fun () ->
+        let src =
+          {|
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+int main() { print_int(fact(6)); return 0; }
+|}
+        in
+        Alcotest.(check string) "720" "720" (Helpers.first_output src));
+    Alcotest.test_case "math builtins" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "3.0" 3.0
+          (eval_main "print_float(sqrt(9.0)); return 0;");
+        Alcotest.(check (float 1e-6)) "exp(0)=1" 1.0
+          (eval_main "print_float(exp(0.0)); return 0;");
+        Alcotest.(check (float 1e-9)) "fmax" 4.0
+          (eval_main "print_float(fmax(2.0, 4.0)); return 0;"));
+    Alcotest.test_case "single-precision variants evaluate" `Quick (fun () ->
+        Alcotest.(check (float 1e-6)) "sqrtf" 2.0
+          (eval_main "print_float(sqrtf(4.0f)); return 0;"));
+    Alcotest.test_case "gpu intrinsics evaluate" `Quick (fun () ->
+        Alcotest.(check (float 1e-5)) "__expf(1)" (Float.exp 1.0)
+          (eval_main "print_float(__expf(1.0f)); return 0;"));
+    Alcotest.test_case "casts" `Quick (fun () ->
+        Alcotest.(check int) "3" 3 (eval_int "print_int((int)3.9); return 0;"));
+    Alcotest.test_case "globals visible in functions" `Quick (fun () ->
+        let src =
+          "double g = 2.0;\nvoid bump() { g += 1.0; }\nint main() { bump(); bump(); print_float(g); return 0; }"
+        in
+        Alcotest.(check (float 1e-9)) "4.0" 4.0 (Helpers.float_output src));
+  ]
+
+let error_tests =
+  [
+    Alcotest.test_case "out-of-bounds read raises" `Quick (fun () ->
+        match
+          Helpers.run_ok
+            "int main() { double a[2]; print_float(a[5]); return 0; }"
+        with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    Alcotest.test_case "out-of-bounds write raises" `Quick (fun () ->
+        match
+          Helpers.run_ok "int main() { double a[2]; a[2] = 1.0; return 0; }"
+        with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    Alcotest.test_case "negative index raises" `Quick (fun () ->
+        match
+          Helpers.run_ok
+            "int main() { double a[2]; int i = 0 - 1; a[i] = 1.0; return 0; }"
+        with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    Alcotest.test_case "integer division by zero raises" `Quick (fun () ->
+        match
+          Helpers.run_ok "int main() { int z = 0; print_int(1 / z); return 0; }"
+        with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    Alcotest.test_case "float division by zero yields inf (C semantics)" `Quick
+      (fun () ->
+        Alcotest.(check string) "inf" "inf"
+          (Helpers.first_output
+             "int main() { double z = 0.0; print_float(1.0 / z); return 0; }"));
+    Alcotest.test_case "fuel guards against infinite loops" `Quick (fun () ->
+        let p =
+          Minic.Parser.parse_program
+            "int main() { while (true) { } return 0; }"
+        in
+        match Eval.run ~fuel:10_000 p with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected fuel exhaustion");
+    Alcotest.test_case "missing main raises" `Quick (fun () ->
+        let p = Minic.Parser.parse_program "void f() { return; }" in
+        match Eval.run p with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+    Alcotest.test_case "timer stop without start raises" `Quick (fun () ->
+        match Helpers.run_ok "int main() { __timer_stop(1); return 0; }" with
+        | exception Value.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "expected runtime error");
+  ]
+
+let profile_tests =
+  [
+    Alcotest.test_case "cycles are monotone in work" `Quick (fun () ->
+        let cycles body =
+          (Helpers.run_ok ("int main() {" ^ body ^ "return 0; }")).profile
+            .cycles
+        in
+        let small =
+          cycles
+            "double s = 0.0; for (int i = 0; i < 10; i++) { s += sqrt((double)i); }"
+        in
+        let large =
+          cycles
+            "double s = 0.0; for (int i = 0; i < 100; i++) { s += sqrt((double)i); }"
+        in
+        Alcotest.(check bool) "more work costs more" true (large > small *. 5.0));
+    Alcotest.test_case "flop counting" `Quick (fun () ->
+        let r =
+          Helpers.run_ok
+            "int main() { double x = 1.5 + 2.5; double y = x * 2.0; return 0; }"
+        in
+        Alcotest.(check int) "2 flops" 2 r.profile.flops);
+    Alcotest.test_case "sfu ops counted for math calls" `Quick (fun () ->
+        let r =
+          Helpers.run_ok
+            "int main() { double x = sqrt(2.0) + exp(1.0); return 0; }"
+        in
+        Alcotest.(check int) "2 sfu ops" 2 r.profile.sfu_ops);
+    Alcotest.test_case "byte accounting by element type" `Quick (fun () ->
+        let r =
+          Helpers.run_ok
+            "int main() { double a[2]; int b[2]; a[0] = 1.0; b[0] = 1; double x = a[0]; int y = b[0]; return 0; }"
+        in
+        Alcotest.(check int) "writes: 8 + 4" 12 r.profile.bytes_written;
+        Alcotest.(check int) "reads: 8 + 4" 12 r.profile.bytes_read);
+    Alcotest.test_case "loop stats: trips and invocations" `Quick (fun () ->
+        let p =
+          Minic.Parser.parse_program
+            {|
+int main() {
+  for (int i = 0; i < 3; i++) {
+    for (int j = 0; j < 5; j++) {
+      int x = i * j;
+    }
+  }
+  return 0;
+}
+|}
+        in
+        let r = Eval.run p in
+        let stats =
+          Hashtbl.fold (fun _ s acc -> s :: acc) r.profile.loops []
+          |> List.sort (fun (a : Profile.loop_stat) b ->
+                 compare a.iterations b.iterations)
+        in
+        match stats with
+        | [ outer; inner ] ->
+            Alcotest.(check int) "outer iterations" 3 outer.iterations;
+            Alcotest.(check int) "outer invocations" 1 outer.invocations;
+            Alcotest.(check int) "inner iterations" 15 inner.iterations;
+            Alcotest.(check int) "inner invocations" 3 inner.invocations;
+            Alcotest.(check int) "inner min trip" 5 inner.min_trip;
+            Alcotest.(check int) "inner max trip" 5 inner.max_trip
+        | _ -> Alcotest.fail "expected two loops");
+    Alcotest.test_case "timers bracket the timed region" `Quick (fun () ->
+        let src =
+          {|
+int main() {
+  __timer_start(7);
+  double s = 0.0;
+  for (int i = 0; i < 50; i++) { s += sqrt((double)i); }
+  __timer_stop(7);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok src in
+        let t = Profile.timer_total r.profile 7 in
+        Alcotest.(check bool) "timer > 0" true (t > 0.0);
+        Alcotest.(check bool) "timer <= total" true (t <= r.profile.cycles));
+    Alcotest.test_case "timers_by_cost sorts descending" `Quick (fun () ->
+        let src =
+          {|
+int main() {
+  __timer_start(1);
+  for (int i = 0; i < 5; i++) { double x = sqrt((double)i); }
+  __timer_stop(1);
+  __timer_start(2);
+  for (int i = 0; i < 500; i++) { double x = sqrt((double)i); }
+  __timer_stop(2);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok src in
+        match Profile.timers_by_cost r.profile with
+        | (2, _) :: (1, _) :: _ -> ()
+        | _ -> Alcotest.fail "expected timer 2 first");
+    Alcotest.test_case "determinism: identical runs, identical profiles" `Quick
+      (fun () ->
+        let r1 = Helpers.run_ok Helpers.vec_scale_src in
+        let r2 = Helpers.run_ok Helpers.vec_scale_src in
+        Alcotest.(check string) "same output" r1.output r2.output;
+        Alcotest.(check (float 0.0)) "same cycles" r1.profile.cycles
+          r2.profile.cycles);
+    Alcotest.test_case "rand01 stays in [0,1)" `Quick (fun () ->
+        let src =
+          {|
+int main() {
+  double mn = 1.0;
+  double mx = 0.0;
+  for (int i = 0; i < 1000; i++) {
+    double r = rand01();
+    mn = fmin(mn, r);
+    mx = fmax(mx, r);
+  }
+  print_float(mn);
+  print_float(mx);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok src in
+        match String.split_on_char '\n' r.output with
+        | mn :: mx :: _ ->
+            Alcotest.(check bool) "min >= 0" true (float_of_string mn >= 0.0);
+            Alcotest.(check bool) "max < 1" true (float_of_string mx < 1.0)
+        | _ -> Alcotest.fail "expected two outputs");
+  ]
+
+let focus_tests =
+  [
+    Alcotest.test_case "kernel observations collected" `Quick (fun () ->
+        let r = Helpers.run_ok ~focus:"work" Helpers.kernel_src in
+        match r.profile.kernel with
+        | None -> Alcotest.fail "no kernel obs"
+        | Some k ->
+            Alcotest.(check int) "one call" 1 k.calls;
+            Alcotest.(check bool) "kernel cycles positive" true
+              (k.k_cycles > 0.0);
+            Alcotest.(check bool) "kernel cycles below total" true
+              (k.k_cycles < r.profile.cycles));
+    Alcotest.test_case "data in/out classification" `Quick (fun () ->
+        let r = Helpers.run_ok ~focus:"work" Helpers.kernel_src in
+        match r.profile.kernel with
+        | Some k ->
+            let a = k.args.(0) and b = k.args.(1) in
+            Alcotest.(check string) "arg a" "a" a.arg_name;
+            Alcotest.(check int) "a bytes in" (32 * 8) a.bytes_in;
+            Alcotest.(check int) "a bytes out" 0 a.bytes_out;
+            Alcotest.(check int) "b bytes in" 0 b.bytes_in;
+            Alcotest.(check int) "b bytes out" (32 * 8) b.bytes_out
+        | None -> Alcotest.fail "no kernel obs");
+    Alcotest.test_case "read-modify-write counts as in and out" `Quick
+      (fun () ->
+        let src =
+          {|
+void incr(double* a, int n) {
+  for (int i = 0; i < n; i++) { a[i] += 1.0; }
+}
+int main() {
+  double a[8];
+  incr(a, 8);
+  print_float(a[0]);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok ~focus:"incr" src in
+        match r.profile.kernel with
+        | Some k ->
+            Alcotest.(check int) "in" 64 k.args.(0).bytes_in;
+            Alcotest.(check int) "out" 64 k.args.(0).bytes_out
+        | None -> Alcotest.fail "no kernel obs");
+    Alcotest.test_case "write-before-read is out-only" `Quick (fun () ->
+        let src =
+          {|
+void scratch(double* a, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = 2.0;
+    double x = a[i];
+  }
+}
+int main() {
+  double a[8];
+  scratch(a, 8);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok ~focus:"scratch" src in
+        match r.profile.kernel with
+        | Some k ->
+            Alcotest.(check int) "no transfer in" 0 k.args.(0).bytes_in;
+            Alcotest.(check int) "out" 64 k.args.(0).bytes_out
+        | None -> Alcotest.fail "no kernel obs");
+    Alcotest.test_case "per-call accumulation across invocations" `Quick
+      (fun () ->
+        let src =
+          {|
+void touch(double* a, int n) {
+  for (int i = 0; i < n; i++) { double x = a[i]; }
+}
+int main() {
+  double a[4];
+  touch(a, 4);
+  touch(a, 4);
+  touch(a, 4);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok ~focus:"touch" src in
+        match r.profile.kernel with
+        | Some k ->
+            Alcotest.(check int) "3 calls" 3 k.calls;
+            Alcotest.(check int) "in accumulates per call" (3 * 32)
+              k.args.(0).bytes_in
+        | None -> Alcotest.fail "no kernel obs");
+    Alcotest.test_case "touched ranges recorded" `Quick (fun () ->
+        let src =
+          {|
+void part(double* a, int n) {
+  for (int i = 2; i < 5; i++) { a[i] = 1.0; }
+}
+int main() {
+  double a[10];
+  part(a, 10);
+  return 0;
+}
+|}
+        in
+        let r = Helpers.run_ok ~focus:"part" src in
+        match r.profile.kernel with
+        | Some k -> (
+            match k.args.(0).regions_touched with
+            | [ (_, lo, hi) ] ->
+                Alcotest.(check int) "lo" 2 lo;
+                Alcotest.(check int) "hi" 4 hi
+            | _ -> Alcotest.fail "expected one region")
+        | None -> Alcotest.fail "no kernel obs");
+  ]
+
+let () =
+  Alcotest.run "interp"
+    [
+      ("semantics", semantics_tests);
+      ("errors", error_tests);
+      ("profile", profile_tests);
+      ("focus", focus_tests);
+    ]

@@ -1,0 +1,321 @@
+(** Tests for the source-to-source transforms: hotspot extraction,
+    reduction-dependency removal, single-precision conversion, unrolling
+    and OpenMP parallelisation. *)
+
+open Transforms
+
+let parse = Minic.Parser.parse_program
+
+let extract_fixture () =
+  let p = parse Helpers.vec_scale_src in
+  let h = Option.get (Analysis.Hotspot.detect p) in
+  (p, Extract.hotspot p ~loop_sid:h.loop_sid)
+
+let extract_tests =
+  [
+    Alcotest.test_case "kernel function created with call site" `Quick
+      (fun () ->
+        let _, ex = extract_fixture () in
+        Alcotest.(check string) "name" Extract.default_kernel_name
+          ex.kernel_name;
+        Alcotest.(check bool) "kernel exists" true
+          (Minic.Ast.find_func_opt ex.program ex.kernel_name <> None);
+        Alcotest.(check bool) "main calls it" true
+          (List.mem ex.kernel_name (Artisan.Query.callees ex.program "main")));
+    Alcotest.test_case "free variables become parameters" `Quick (fun () ->
+        let _, ex = extract_fixture () in
+        let names = List.map snd ex.params in
+        Alcotest.(check bool) "n passed" true (List.mem "n" names);
+        Alcotest.(check bool) "a passed" true (List.mem "a" names);
+        Alcotest.(check bool) "b passed" true (List.mem "b" names);
+        Alcotest.(check bool) "i private" false (List.mem "i" names));
+    Alcotest.test_case "arrays become pointer parameters" `Quick (fun () ->
+        let _, ex = extract_fixture () in
+        let ty name = fst (List.find (fun (_, v) -> v = name) ex.params) in
+        Alcotest.(check bool) "a is double*" true
+          (ty "a" = Minic.Ast.Tptr Minic.Ast.Tdouble);
+        Alcotest.(check bool) "n is int" true (ty "n" = Minic.Ast.Tint));
+    Alcotest.test_case "extraction preserves behaviour" `Quick (fun () ->
+        let p, ex = extract_fixture () in
+        let r0 = Minic_interp.Eval.run p in
+        let r1 = Minic_interp.Eval.run ex.program in
+        Alcotest.(check string) "same output" r0.output r1.output);
+    Alcotest.test_case "extraction preserves typing" `Quick (fun () ->
+        let _, ex = extract_fixture () in
+        Minic.Typecheck.check_program ex.program);
+    Alcotest.test_case "loop keeps its node id inside the kernel" `Quick
+      (fun () ->
+        let _, ex = extract_fixture () in
+        let ids = Minic.Ast.all_stmt_ids ex.program in
+        Alcotest.(check bool) "hotspot id survives" true
+          (List.mem ex.loop_sid ids);
+        Alcotest.(check bool) "ids unique" false
+          (Minic.Ast.has_duplicate_ids ex.program));
+    Alcotest.test_case "refuses loops writing free scalars" `Quick (fun () ->
+        let src =
+          {|
+int main() {
+  double s = 0.0;
+  double a[8];
+  for (int i = 0; i < 8; i++) {
+    s += a[i];
+  }
+  print_float(s);
+  return 0;
+}
+|}
+        in
+        let p = parse src in
+        let loop =
+          (List.hd Artisan.Query.(stmts_in ~where:is_for p "main")).stmt
+        in
+        match Extract.hotspot p ~loop_sid:loop.sid with
+        | exception Extract.Not_extractable _ -> ()
+        | _ -> Alcotest.fail "expected Not_extractable");
+    Alcotest.test_case "kernel calls repeat per driver iteration" `Quick
+      (fun () ->
+        let src =
+          {|
+int main() {
+  int n = 16;
+  double a[n];
+  for (int i = 0; i < n; i++) { a[i] = rand01(); }
+  for (int t = 0; t < 4; t++) {
+    for (int i = 0; i < n; i++) {
+      a[i] = sqrt(a[i]) + 0.01;
+    }
+    a[0] = 0.5;
+  }
+  print_float(a[1]);
+  return 0;
+}
+|}
+        in
+        let p = parse src in
+        let h = Option.get (Analysis.Hotspot.detect p) in
+        let ex = Extract.hotspot p ~loop_sid:h.loop_sid in
+        let r = Minic_interp.Eval.run ~focus:ex.kernel_name ex.program in
+        match r.profile.kernel with
+        | Some k -> Alcotest.(check int) "4 calls" 4 k.calls
+        | None -> Alcotest.fail "no kernel obs");
+  ]
+
+let reduction_tests =
+  [
+    Alcotest.test_case "histogram loop gets annotated" `Quick (fun () ->
+        let p = parse Helpers.histogram_src in
+        let p', count = Reduction.remove_array_dependencies p ~kernel:"hist" in
+        Alcotest.(check int) "one loop annotated" 1 count;
+        let loop =
+          (List.hd Artisan.Query.(stmts_in ~where:is_for p' "hist")).stmt
+        in
+        Alcotest.(check (list string)) "clause" [ "+:bins[]" ]
+          (Reduction.clauses_of loop));
+    Alcotest.test_case "independent loop untouched" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let _, count = Reduction.remove_array_dependencies p ~kernel:"work" in
+        Alcotest.(check int) "nothing annotated" 0 count);
+    Alcotest.test_case "annotation preserves behaviour" `Quick (fun () ->
+        let p = parse Helpers.histogram_src in
+        let p', _ = Reduction.remove_array_dependencies p ~kernel:"hist" in
+        Alcotest.(check string) "same output"
+          (Minic_interp.Eval.run p).output
+          (Minic_interp.Eval.run p').output);
+    Alcotest.test_case "scalar reduction clause spelling" `Quick (fun () ->
+        let d =
+          {
+            Analysis.Dependence.var = "acc";
+            kind = Analysis.Dependence.Scalar_reduction Minic.Ast.MulEq;
+            sid = 0;
+          }
+        in
+        Alcotest.(check string) "clause" "*:acc" (Reduction.clause d));
+  ]
+
+let sp_tests =
+  [
+    Alcotest.test_case "sp math renames calls in kernel only" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Sp_math.employ_sp_math p ~kernel:"work" in
+        let work =
+          Minic.Pretty.program_to_string
+            { p' with Minic.Ast.funcs = [ Minic.Ast.find_func p' "work" ] }
+        in
+        Alcotest.(check bool) "expf in kernel" true
+          (Astring_contains.contains work "expf("));
+    Alcotest.test_case "sp literals get f suffix" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Sp_math.employ_sp_literals p ~kernel:"work" in
+        let s = Minic.Pretty.program_to_string p' in
+        Alcotest.(check bool) "0.5f present" true
+          (Astring_contains.contains s "0.5f"));
+    Alcotest.test_case "type demotion rewrites params and decls" `Quick
+      (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Sp_math.demote_kernel_types p ~kernel:"work" in
+        let f = Minic.Ast.find_func p' "work" in
+        Alcotest.(check bool) "param float*" true
+          ((List.hd f.fparams).ptyp = Minic.Ast.Tptr Minic.Ast.Tfloat));
+    Alcotest.test_case "full sp conversion is numerically faithful" `Quick
+      (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Sp_math.to_single_precision p ~kernel:"work" in
+        Alcotest.(check string) "same output"
+          (Minic_interp.Eval.run p).output
+          (Minic_interp.Eval.run p').output);
+    Alcotest.test_case "gpu intrinsics rewrite sp math calls" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Sp_math.employ_sp_math p ~kernel:"work" in
+        let p'', n = Sp_math.employ_gpu_intrinsics p' ~kernel:"work" in
+        Alcotest.(check int) "one call specialised" 1 n;
+        Alcotest.(check bool) "__expf present" true
+          (Astring_contains.contains
+             (Minic.Pretty.program_to_string p'')
+             "__expf("));
+    Alcotest.test_case "intrinsics do not apply to double math" `Quick
+      (fun () ->
+        let p = parse Helpers.kernel_src in
+        let _, n = Sp_math.employ_gpu_intrinsics p ~kernel:"work" in
+        Alcotest.(check int) "nothing specialised" 0 n);
+  ]
+
+let unroll_tests =
+  [
+    Alcotest.test_case "full unroll replicates the body" `Quick (fun () ->
+        let src =
+          {|
+void k(double* a) {
+  for (int i = 0; i < 16; i++) {
+    for (int j = 0; j < 4; j++) {
+      a[j] += 1.0;
+    }
+  }
+}
+int main() { double a[4]; k(a); print_float(a[0]); return 0; }
+|}
+        in
+        let p = parse src in
+        let p', n = Unroll.unroll_fixed_inner_loops p ~kernel:"k" in
+        Alcotest.(check int) "one loop unrolled" 1 n;
+        Alcotest.(check int) "only outer remains" 1
+          (List.length Artisan.Query.(stmts_in ~where:is_for p' "k"));
+        Alcotest.(check string) "same behaviour"
+          (Minic_interp.Eval.run p).output
+          (Minic_interp.Eval.run p').output;
+        Alcotest.(check bool) "ids unique" false
+          (Minic.Ast.has_duplicate_ids p'));
+    Alcotest.test_case "unroll substitutes the index constant" `Quick
+      (fun () ->
+        let src =
+          {|
+void k(double* a) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 3; j++) {
+      a[j] = (double)j;
+    }
+  }
+}
+int main() { double a[3]; k(a); print_float(a[2]); return 0; }
+|}
+        in
+        let p = parse src in
+        let p', _ = Unroll.unroll_fixed_inner_loops p ~kernel:"k" in
+        let s = Minic.Pretty.program_to_string p' in
+        Alcotest.(check bool) "a[2] literal present" true
+          (Astring_contains.contains s "a[2]");
+        Alcotest.(check (float 1e-9)) "value" 2.0
+          (float_of_string
+             (List.hd
+                (String.split_on_char '\n' (Minic_interp.Eval.run p').output))));
+    Alcotest.test_case "runtime bounds are not unrolled" `Quick (fun () ->
+        let src =
+          {|
+void k(double* a, int m) {
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < m; j++) {
+      a[j] += 1.0;
+    }
+  }
+}
+int main() { double a[4]; k(a, 4); return 0; }
+|}
+        in
+        let p = parse src in
+        let _, n = Unroll.unroll_fixed_inner_loops p ~kernel:"k" in
+        Alcotest.(check int) "nothing unrolled" 0 n);
+    Alcotest.test_case "threshold respected" `Quick (fun () ->
+        let src =
+          {|
+void k(double* a) {
+  for (int i = 0; i < 4; i++) {
+    for (int j = 0; j < 100; j++) {
+      a[0] += 1.0;
+    }
+  }
+}
+int main() { double a[1]; k(a); return 0; }
+|}
+        in
+        let p = parse src in
+        let _, n =
+          Unroll.unroll_fixed_inner_loops ~threshold:64 p ~kernel:"k"
+        in
+        Alcotest.(check int) "too big to unroll" 0 n);
+    Alcotest.test_case "annotate and read back factor" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let loop =
+          (List.hd Artisan.Query.(stmts_in ~where:is_for p "work")).stmt
+        in
+        let p' = Unroll.annotate_unroll ~target:loop.sid ~factor:8 p in
+        Alcotest.(check int) "factor read back" 8
+          (Unroll.kernel_unroll_factor p' ~kernel:"work");
+        let p'' = Unroll.annotate_unroll ~target:loop.sid ~factor:16 p' in
+        Alcotest.(check int) "updated" 16
+          (Unroll.kernel_unroll_factor p'' ~kernel:"work"));
+  ]
+
+let omp_tests =
+  [
+    Alcotest.test_case "parallel loop gets the pragma" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Omp_pragmas.parallelize_kernel_loop p ~kernel:"work" in
+        let s = Minic.Pretty.program_to_string p' in
+        Alcotest.(check bool) "pragma present" true
+          (Astring_contains.contains s "#pragma omp parallel for"));
+    Alcotest.test_case "num_threads clause set and read back" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' =
+          Omp_pragmas.parallelize_kernel_loop ~num_threads:16 p ~kernel:"work"
+        in
+        Alcotest.(check (option int)) "16 threads" (Some 16)
+          (Omp_pragmas.annotated_num_threads p' ~kernel:"work"));
+    Alcotest.test_case "reduction clauses derived from annotation" `Quick
+      (fun () ->
+        let p = parse Helpers.histogram_src in
+        let p, _ = Reduction.remove_array_dependencies p ~kernel:"hist" in
+        let p' = Omp_pragmas.parallelize_kernel_loop p ~kernel:"hist" in
+        let s = Minic.Pretty.program_to_string p' in
+        Alcotest.(check bool) "array-section reduction" true
+          (Astring_contains.contains s "reduction(+:bins[:])"));
+    Alcotest.test_case "sequential loop rejected" `Quick (fun () ->
+        let p = parse Helpers.prefix_src in
+        match Omp_pragmas.parallelize_kernel_loop p ~kernel:"prefix" with
+        | exception Omp_pragmas.Not_parallel _ -> ()
+        | _ -> Alcotest.fail "expected Not_parallel");
+    Alcotest.test_case "pragma does not change behaviour" `Quick (fun () ->
+        let p = parse Helpers.kernel_src in
+        let p' = Omp_pragmas.parallelize_kernel_loop p ~kernel:"work" in
+        Alcotest.(check string) "same output"
+          (Minic_interp.Eval.run p).output
+          (Minic_interp.Eval.run p').output);
+  ]
+
+let () =
+  Alcotest.run "transforms"
+    [
+      ("extract", extract_tests);
+      ("reduction", reduction_tests);
+      ("single_precision", sp_tests);
+      ("unroll", unroll_tests);
+      ("omp", omp_tests);
+    ]
