@@ -45,7 +45,7 @@ let collect_one (app : Benchmarks.Bench_app.t) : collected =
 
 let collected : collected list Lazy.t =
   lazy
-    (List.map
+    (Dse.Pool.map
        (fun (app : Benchmarks.Bench_app.t) ->
          Printf.eprintf "profiling %s...\n%!" app.id;
          collect_one app)
@@ -507,6 +507,10 @@ let () =
   | "energy" -> print_energy ()
   | "strategies" -> print_strategies ()
   | "micro" -> run_bechamel ()
+  | "perf" ->
+      Perf.run
+        ~quick:(Array.exists (fun a -> a = "--quick") Sys.argv)
+        ()
   | _ ->
       print_fig5 ();
       print_table1 ();

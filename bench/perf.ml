@@ -1,0 +1,174 @@
+(** [main.exe perf [--quick]]: the performance trajectory benchmark.
+
+    Measures the three fast-path layers introduced by the slot-compiled
+    interpreter / profile cache / domain pool work and writes the
+    numbers to [BENCH_psaflow.json]:
+
+    - interpreter throughput (one profiling run of the heaviest
+      benchmark, modelled virtual cycles per wall second);
+    - the repeated-analysis path, cold (cache disabled, every analysis
+      re-interprets) vs cached (all analyses share one instrumented
+      run);
+    - the uninformed 5-benchmark evaluation, sequential and uncached vs
+      pooled and cached, checking that the Fig. 5 / Table I / Fig. 6
+      inputs are bit-identical between the two.
+
+    [--quick] shrinks the repetition counts for CI smoke runs. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (now () -. t0, r)
+
+let repeat n f =
+  for _ = 1 to n do
+    ignore (f ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One round of the flow's dynamic analyses on a prepared benchmark:
+   hotspot + trip counts on the full program, data in/out + alias +
+   features on the extracted kernel.  Uncached, every one of these
+   re-interprets the program. *)
+let analysis_round (p, ex_program, kernel) () =
+  ignore (Analysis.Hotspot.detect p);
+  ignore (Analysis.Trip_count.analyze p);
+  ignore (Analysis.Data_inout.analyze ex_program ~kernel);
+  ignore (Analysis.Alias.analyze ex_program ~kernel);
+  ignore (Analysis.Features.analyze ex_program ~kernel)
+
+let prepare (app : Benchmarks.Bench_app.t) =
+  let p = Benchmarks.Bench_app.program app ~n:app.profile_n in
+  let ex_program, kernel, _ = Psa.Std_flow.prepare_kernel p in
+  (p, ex_program, kernel)
+
+(* Fingerprint of everything Fig. 5, Table I and Fig. 6 read from an
+   uninformed run: design identity, knobs, timing, feasibility and the
+   LOC delta, printed with full float precision. *)
+let outcome_fingerprint (app : Benchmarks.Bench_app.t)
+    (outcome : Psa.Std_flow.outcome) =
+  let reference = Benchmarks.Bench_app.reference app in
+  let result_line (r : Devices.Simulate.result) =
+    Printf.sprintf "%s|%s|%s|u%d|b%d|t%d|%.17g|%.17g|%b|%b|loc%+d" r.design.name
+      (Codegen.Design.target_framework r.design.target)
+      r.design.device_id r.design.unroll_factor r.design.blocksize
+      r.design.num_threads r.seconds r.speedup r.feasible
+      r.design.synthesizable
+      (Codegen.Design.loc_delta ~reference r.design)
+  in
+  app.id ^ "\n" ^ String.concat "\n" (List.map result_line outcome.results)
+
+let uninformed_all () =
+  List.map
+    (fun (app : Benchmarks.Bench_app.t) ->
+      outcome_fingerprint app
+        (Psa.Std_flow.run_uninformed (Benchmarks.Bench_app.context app)))
+    Benchmarks.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_out = "BENCH_psaflow.json"
+
+let run ~quick () =
+  let reps = if quick then 2 else 5 in
+  Printf.printf "== psaflow perf (%s, %d cores recommended) ==\n%!"
+    (if quick then "quick" else "full")
+    (Domain.recommended_domain_count ());
+
+  (* -- interpreter throughput ------------------------------------- *)
+  let heavy =
+    List.nth Benchmarks.Registry.all 1 (* nbody: float-heavy kernel *)
+  in
+  let heavy_p = Benchmarks.Bench_app.program heavy ~n:heavy.profile_n in
+  let compiled = Minic_interp.Eval.compile heavy_p in
+  let interp_s, interp_run =
+    time (fun () -> Minic_interp.Eval.run_compiled compiled)
+  in
+  let mcycles = interp_run.profile.cycles /. 1e6 in
+  Printf.printf "interp   %-12s %8.4f s  (%.1f Mcycles, %.1f Mcycles/s)\n%!"
+    heavy.id interp_s mcycles
+    (mcycles /. interp_s);
+
+  (* -- repeated-analysis path: cold vs cached ---------------------- *)
+  let prepared = prepare heavy in
+  Minic_interp.Profile_cache.set_enabled false;
+  let cold_s, () = time (fun () -> repeat reps (analysis_round prepared)) in
+  Minic_interp.Profile_cache.set_enabled true;
+  Minic_interp.Profile_cache.clear ();
+  Minic_interp.Profile_cache.reset_stats ();
+  let warm_s, () = time (fun () -> repeat reps (analysis_round prepared)) in
+  let hits, misses = Minic_interp.Profile_cache.stats () in
+  let cache_speedup = cold_s /. warm_s in
+  Printf.printf
+    "analyses %-12s cold %.4f s   cached %.4f s   speedup %.1fx   (%d hits, \
+     %d misses)\n%!"
+    heavy.id cold_s warm_s cache_speedup hits misses;
+
+  (* -- uninformed 5-benchmark evaluation --------------------------- *)
+  let saved_override = !Dse.Pool.override in
+  Minic_interp.Profile_cache.set_enabled false;
+  Dse.Pool.override := Some 1;
+  let seq_s, seq_fp = time uninformed_all in
+  Minic_interp.Profile_cache.set_enabled true;
+  Minic_interp.Profile_cache.clear ();
+  Dse.Pool.override := saved_override;
+  let jobs = Dse.Pool.jobs () in
+  let par_s, par_fp = time uninformed_all in
+  let identical = seq_fp = par_fp in
+  let flow_speedup = seq_s /. par_s in
+  Printf.printf
+    "flow     5 benchmarks  sequential+uncached %.4f s   %d-job+cached %.4f \
+     s   speedup %.1fx   outputs identical: %b\n%!"
+    seq_s jobs par_s flow_speedup identical;
+  if not identical then
+    prerr_endline "ERROR: parallel/cached outputs diverge from sequential!";
+
+  (* -- report ------------------------------------------------------ *)
+  let oc = open_out json_out in
+  Printf.fprintf oc
+    {|{
+  "bench": "psaflow-perf",
+  "quick": %b,
+  "cores": %d,
+  "jobs": %d,
+  "interp": {
+    "benchmark": "%s",
+    "run_s": %.6f,
+    "virtual_mcycles": %.3f,
+    "mcycles_per_s": %.2f
+  },
+  "cache": {
+    "benchmark": "%s",
+    "rounds": %d,
+    "cold_s": %.6f,
+    "cached_s": %.6f,
+    "speedup": %.2f,
+    "hits": %d,
+    "misses": %d
+  },
+  "flow": {
+    "benchmarks": %d,
+    "sequential_uncached_s": %.6f,
+    "parallel_cached_s": %.6f,
+    "speedup": %.2f,
+    "outputs_identical": %b
+  }
+}
+|}
+    quick
+    (Domain.recommended_domain_count ())
+    jobs heavy.id interp_s mcycles
+    (mcycles /. interp_s)
+    heavy.id reps cold_s warm_s cache_speedup hits misses
+    (List.length Benchmarks.Registry.all)
+    seq_s par_s flow_speedup identical;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_out;
+  if not identical then exit 1

@@ -61,7 +61,7 @@ let of_kernel_obs ~kernel (k : Minic_interp.Profile.kernel_obs) : t =
 
 (** Run the alias analysis on calls to [kernel] in [p]. *)
 let analyze (p : Ast.program) ~kernel : t =
-  let run = Minic_interp.Eval.run ~focus:kernel p in
+  let run = Minic_interp.Profile_cache.run ~focus:kernel p in
   match run.profile.kernel with
   | None -> { kernel; no_alias = true; overlaps = [] }
   | Some k -> of_kernel_obs ~kernel k

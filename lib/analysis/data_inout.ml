@@ -33,7 +33,7 @@ let bytes_per_call t =
 
 (** Analyse data movement of calls to [kernel] in [p]. *)
 let analyze (p : Ast.program) ~kernel : t =
-  let run = Minic_interp.Eval.run ~focus:kernel p in
+  let run = Minic_interp.Profile_cache.run ~focus:kernel p in
   match run.profile.kernel with
   | None ->
       {

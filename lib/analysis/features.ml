@@ -209,7 +209,7 @@ let gather_info (p : Ast.program) kernel =
     kernel cost) plus the static analyses (dependence, intensity,
     op census, register estimate). *)
 let analyze (p : Ast.program) ~kernel : t =
-  let run = Minic_interp.Eval.run ~focus:kernel p in
+  let run = Minic_interp.Profile_cache.run ~focus:kernel p in
   let prof = run.profile in
   let trips = Trip_count.of_profile prof in
   let kobs =

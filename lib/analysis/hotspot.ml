@@ -51,7 +51,7 @@ let detect ?(func = "main") (p : Ast.program) : t option =
   if cands = [] then None
   else
     let instrumented = instrument ~func p in
-    let run = Minic_interp.Eval.run instrumented in
+    let run = Minic_interp.Profile_cache.run instrumented in
     let total_cycles = run.profile.cycles in
     let cycles_of sid = Minic_interp.Profile.timer_total run.profile sid in
     (* direct loop children: candidate whose nearest enclosing loop is the

@@ -40,7 +40,7 @@ let of_profile (prof : Minic_interp.Profile.t) : t =
 
 (** Run the program and collect trip counts of every loop. *)
 let analyze (p : Ast.program) : t =
-  let run = Minic_interp.Eval.run p in
+  let run = Minic_interp.Profile_cache.run p in
   of_profile run.profile
 
 let find (t : t) sid = Hashtbl.find_opt t sid

@@ -33,8 +33,50 @@ type t = {
   log : string list;  (** reverse-chronological event log *)
 }
 
+(* Workload-size validation: a nonsensical size is a caller bug and is
+   rejected outright; suspicious-but-legal combinations (extrapolation
+   data without a profile size, evaluation scale below profile scale)
+   are loudly recorded in the context log, where every flow report
+   surfaces them. *)
+let validate_sizes ~benchmark ~profile_n ~secondary ~eval_n =
+  if profile_n < 0 then
+    invalid_arg
+      (Printf.sprintf "Context.make: profile_n = %d must be >= 0" profile_n);
+  (match secondary with
+  | Some (n2, _) when n2 <= 0 ->
+      invalid_arg
+        (Printf.sprintf "Context.make: secondary size %d must be positive" n2)
+  | _ -> ());
+  (match eval_n with
+  | Some e when e <= 0 ->
+      invalid_arg (Printf.sprintf "Context.make: eval_n = %d must be positive" e)
+  | _ -> ());
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun m -> warnings := m :: !warnings) fmt in
+  if profile_n = 0 && (secondary <> None || eval_n <> None) then
+    warn
+      "warning: %s: profile_n is 0, so features cannot be extrapolated \
+       and the secondary/eval workload sizes are ignored"
+      benchmark;
+  (match (secondary, profile_n) with
+  | Some (n2, _), p when p > 0 && n2 = p ->
+      warn
+        "warning: %s: secondary size %d equals profile_n, power-law \
+         fitting is degenerate"
+        benchmark n2
+  | _ -> ());
+  (match eval_n with
+  | Some e when profile_n > 0 && e < profile_n ->
+      warn
+        "warning: %s: eval_n %d is smaller than profile_n %d — \
+         extrapolating downwards"
+        benchmark e profile_n
+  | _ -> ());
+  !warnings
+
 let make ?(benchmark = "app") ?(profile_n = 0) ?secondary ?eval_n
     ?(x_threshold = 2.0) ?budget (reference : Ast.program) : t =
+  let warnings = validate_sizes ~benchmark ~profile_n ~secondary ~eval_n in
   {
     benchmark;
     reference;
@@ -51,7 +93,7 @@ let make ?(benchmark = "app") ?(profile_n = 0) ?secondary ?eval_n
     results = [];
     x_threshold;
     budget;
-    log = [];
+    log = warnings;
   }
 
 let log msg ctx = { ctx with log = msg :: ctx.log }

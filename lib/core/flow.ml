@@ -54,20 +54,30 @@ let rec run (flow : t) (ctx : Context.t) : Context.t list =
             Context.logf ctx "branch %s: uninformed, all %d paths" bp.bp_name
               (List.length bp.paths)
           in
-          List.concat_map
-            (fun (name, f) ->
-              run f (Context.logf ctx "branch %s -> %s" bp.bp_name name))
-            bp.paths
+          (* the uninformed fan-out explores every path: independent
+             sub-flows, evaluated by the domain pool (order-preserving,
+             so results are identical to the sequential traversal) *)
+          List.concat
+            (Dse.Pool.map
+               (fun (name, f) ->
+                 run f (Context.logf ctx "branch %s -> %s" bp.bp_name name))
+               bp.paths)
       | Paths names ->
-          List.concat_map
-            (fun name ->
-              match List.assoc_opt name bp.paths with
-              | None -> raise (Unknown_path (bp.bp_name, name))
-              | Some f ->
-                  run f
-                    (Context.logf ctx "branch %s: PSA selected %s" bp.bp_name
-                       name))
-            names)
+          let selected =
+            List.map
+              (fun name ->
+                match List.assoc_opt name bp.paths with
+                | None -> raise (Unknown_path (bp.bp_name, name))
+                | Some f -> (name, f))
+              names
+          in
+          List.concat
+            (Dse.Pool.map
+               (fun (name, f) ->
+                 run f
+                   (Context.logf ctx "branch %s: PSA selected %s" bp.bp_name
+                      name))
+               selected))
 
 (** All tasks mentioned in a flow, in definition order (the "repository"
     listing of Fig. 4). *)

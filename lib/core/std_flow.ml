@@ -39,16 +39,32 @@ let ensure_features (ctx : Context.t) : Context.t =
   | Some _ -> ctx
   | None ->
       let kernel = kernel_exn ctx in
-      let f1 = Analysis.Features.analyze ctx.program ~kernel in
-      let eval_features =
+      let f1, eval_features =
         match (ctx.secondary, ctx.eval_n) with
         | Some (n2, p2), Some n_eval when ctx.profile_n > 0 ->
-            let p2', _, _ = prepare_kernel p2 in
-            let f2 = Analysis.Features.analyze p2' ~kernel in
-            Some
-              (Analysis.Extrapolate.features ~n1:ctx.profile_n f1 ~n2 f2
-                 ~n:n_eval)
-        | _ -> Some f1
+            (* the profile-size and secondary-size analysis chains are
+               independent: evaluate both on the domain pool *)
+            let f1, f2 =
+              match
+                Dse.Pool.map
+                  (fun thunk -> thunk ())
+                  [
+                    (fun () -> Analysis.Features.analyze ctx.program ~kernel);
+                    (fun () ->
+                      let p2', _, _ = prepare_kernel p2 in
+                      Analysis.Features.analyze p2' ~kernel);
+                  ]
+              with
+              | [ f1; f2 ] -> (f1, f2)
+              | _ -> assert false
+            in
+            ( f1,
+              Some
+                (Analysis.Extrapolate.features ~n1:ctx.profile_n f1 ~n2 f2
+                   ~n:n_eval) )
+        | _ ->
+            let f1 = Analysis.Features.analyze ctx.program ~kernel in
+            (f1, Some f1)
       in
       { ctx with features = Some f1; eval_features }
 

@@ -26,20 +26,19 @@ let candidate_blocksizes = [ 32; 64; 96; 128; 192; 256; 384; 512; 768; 1024 ]
 let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
   let gpu = Devices.Spec.find_gpu design.device_id in
   let steps =
-    List.filter_map
+    (* candidate evaluations are independent: sweep them on the pool
+       (order-preserving, so the first-best tie-break is unchanged) *)
+    Pool.map
       (fun bs ->
-        if bs > gpu.max_blocksize then None
-        else
-          let d = { design with Codegen.Design.blocksize = bs } in
-          let r = Devices.Gpu_model.time gpu d features in
-          Some
-            {
-              blocksize = bs;
-              occupancy = r.occupancy;
-              seconds = r.total;
-              feasible = r.feasible;
-            })
-      candidate_blocksizes
+        let d = { design with Codegen.Design.blocksize = bs } in
+        let r = Devices.Gpu_model.time gpu d features in
+        {
+          blocksize = bs;
+          occupancy = r.occupancy;
+          seconds = r.total;
+          feasible = r.feasible;
+        })
+      (List.filter (fun bs -> bs <= gpu.max_blocksize) candidate_blocksizes)
   in
   let best =
     List.fold_left

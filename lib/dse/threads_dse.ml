@@ -24,7 +24,9 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
     doubling 1 []
   in
   let steps =
-    List.map
+    (* candidate evaluations are independent: sweep them on the pool
+       (order-preserving, so the first-best tie-break is unchanged) *)
+    Pool.map
       (fun t ->
         let r = Devices.Cpu_model.time cpu features ~threads:t in
         { threads = t; seconds = r.t_parallel; speedup = r.speedup })

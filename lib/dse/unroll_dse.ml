@@ -37,13 +37,27 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
       overmapped = r.overmapped;
     }
   in
-  let rec explore n best steps =
-    let s = eval n in
-    let steps = s :: steps in
-    if s.overmapped || n > max_factor then (best, steps)
-    else explore (n * 2) (Some n) steps
+  (* Speculative sweep: every candidate factor is evaluated up front by
+     the domain pool (the model is pure, so extra evaluations beyond the
+     stopping point are unobservable), then the sequential
+     doubling-until-overmap walk is reconstructed over the results.
+     [chosen_factor] and [steps] are therefore bit-identical to the
+     incremental exploration. *)
+  let factors =
+    let rec go n acc =
+      if n > max_factor then List.rev (n :: acc) else go (n * 2) (n :: acc)
+    in
+    go 1 []
   in
-  let best, steps = explore 1 None [] in
+  let evaluated = Pool.map (fun n -> (n, eval n)) factors in
+  let rec walk best steps = function
+    | [] -> (best, steps)
+    | (n, s) :: rest ->
+        let steps = s :: steps in
+        if s.overmapped || n > max_factor then (best, steps)
+        else walk (Some n) steps rest
+  in
+  let best, steps = walk None [] evaluated in
   match best with
   | Some factor ->
       {

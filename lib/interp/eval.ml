@@ -6,6 +6,13 @@
     profiles every call to that function as an accelerator-offload
     candidate: per-argument transfer requirements and touched ranges.
 
+    Since the slot-compilation fast path ({!Resolve}), programs are first
+    lowered to an IR in which variable accesses are array-indexed slots
+    and statically-known cycle charges are batched per straight-line
+    group; this module only executes that IR.  Profiles are bit-identical
+    to the original per-statement tree walker (see {!Resolve} for the
+    argument).
+
     Determinism: [rand01]/[rand_int] use a fixed-seed LCG, so repeated
     runs (and runs of instrumented variants) see identical inputs — the
     property the paper relies on when it compares designs generated from
@@ -15,16 +22,14 @@ open Value
 
 exception Return_exc of Value.t
 
-type frame = (string, Value.t ref) Hashtbl.t
-
 type state = {
-  prog : Minic.Ast.program;
+  cprog : Resolve.t;
   mem : Memory.t;
   prof : Profile.t;
-  globals : frame;
+  garray : Value.t array;  (** global frame *)
   out : Buffer.t;
   mutable rng : int;
-  focus : string option;
+  focus_idx : int;  (** index of the focus function, [-1] for none *)
   mutable focus_depth : int;
   (* region id -> kernel argument indices it is reachable from *)
   focus_args : (int, int list) Hashtbl.t;
@@ -110,258 +115,218 @@ let track_focus_access st (p : Value.ptr) ~write =
               attribute (fun a ->
                   a.Profile.bytes_in <- a.Profile.bytes_in + elem)))
 
+(* Load/store counters and focus tracking.  The [Cost.load]/[Cost.store]
+   cycles themselves are statically known and batched by the resolver. *)
 let mem_load st p =
   let v = Memory.load st.mem p in
-  let bytes = Memory.elem_bytes st.mem p.mem_id in
-  charge st Profile.Cost.load;
   st.prof.loads <- st.prof.loads + 1;
-  st.prof.bytes_read <- st.prof.bytes_read + bytes;
+  st.prof.bytes_read <- st.prof.bytes_read + Memory.elem_bytes st.mem p.mem_id;
   track_focus_access st p ~write:false;
   v
 
 let mem_store st p v =
   Memory.store st.mem p v;
-  let bytes = Memory.elem_bytes st.mem p.mem_id in
-  charge st Profile.Cost.store;
   st.prof.stores <- st.prof.stores + 1;
-  st.prof.bytes_written <- st.prof.bytes_written + bytes;
+  st.prof.bytes_written <-
+    st.prof.bytes_written + Memory.elem_bytes st.mem p.mem_id;
   track_focus_access st p ~write:true
 
 (* ------------------------------------------------------------------ *)
-(* Variable lookup                                                     *)
+(* Slot access                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let lookup st frame name =
-  match Hashtbl.find_opt frame name with
-  | Some r -> r
-  | None -> (
-      match Hashtbl.find_opt st.globals name with
-      | Some r -> r
-      | None -> err "undefined variable '%s'" name)
+let get_var st frame = function
+  | Resolve.Local i -> frame.(i)
+  | Resolve.Global i -> st.garray.(i)
+  | Resolve.Unbound n -> err "undefined variable '%s'" n
 
-let bind frame name v = Hashtbl.replace frame name (ref v)
+let set_var st frame r v =
+  match r with
+  | Resolve.Local i -> frame.(i) <- v
+  | Resolve.Global i -> st.garray.(i) <- v
+  | Resolve.Unbound n -> err "undefined variable '%s'" n
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic with dynamic residues                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Add/Sub/Mul: the resolver pre-charged [Cost.int_op]; [fresid] is the
+   difference to the float cost, charged when the operands turn out to
+   be floating-point. *)
+let do_arith st op fresid a b =
+  let open Minic.Ast in
+  if is_float a || is_float b then (
+    if fresid <> 0.0 then charge st fresid;
+    st.prof.flops <- st.prof.flops + 1;
+    match op with
+    | Add -> VFloat (to_float a +. to_float b)
+    | Sub -> VFloat (to_float a -. to_float b)
+    | Mul -> VFloat (to_float a *. to_float b)
+    | _ -> assert false)
+  else (
+    st.prof.int_ops <- st.prof.int_ops + 1;
+    match op with
+    | Add -> VInt (to_int a + to_int b)
+    | Sub -> VInt (to_int a - to_int b)
+    | Mul -> VInt (to_int a * to_int b)
+    | _ -> assert false)
+
+(* Division cost depends on the operand kinds: charged fully at run
+   time. *)
+let do_div st a b =
+  if is_float a || is_float b then (
+    charge st Profile.Cost.float_div;
+    st.prof.flops <- st.prof.flops + 1;
+    VFloat (to_float a /. to_float b))
+  else (
+    charge st Profile.Cost.int_op;
+    st.prof.int_ops <- st.prof.int_ops + 1;
+    let d = to_int b in
+    if d = 0 then err "integer division by zero";
+    VInt (to_int a / d))
+
+(* Mod: [Cost.int_op] pre-charged; only the counter is dynamic. *)
+let do_mod st a b =
+  if is_float a || is_float b then st.prof.flops <- st.prof.flops + 1
+  else st.prof.int_ops <- st.prof.int_ops + 1;
+  let d = to_int b in
+  if d = 0 then err "integer modulo by zero";
+  VInt (to_int a mod d)
+
+let do_cmp op fl a b =
+  let open Minic.Ast in
+  match op with
+  | Lt -> if fl then to_float a < to_float b else to_int a < to_int b
+  | Le -> if fl then to_float a <= to_float b else to_int a <= to_int b
+  | Gt -> if fl then to_float a > to_float b else to_int a > to_int b
+  | Ge -> if fl then to_float a >= to_float b else to_int a >= to_int b
+  | Eq -> if fl then to_float a = to_float b else to_int a = to_int b
+  | Ne -> if fl then to_float a <> to_float b else to_int a <> to_int b
+  | _ -> assert false
+
+let coerce typ v =
+  match typ with
+  | Minic.Ast.Tint -> VInt (to_int v)
+  | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> VFloat (to_float v)
+  | Minic.Ast.Tbool -> VBool (to_bool v)
+  | _ -> v
+
+let coerce_region st (p : Value.ptr) v =
+  coerce (Memory.region st.mem p.mem_id).elem_typ v
+
+let arith_fresid = Profile.Cost.float_add -. Profile.Cost.int_op
+let mul_fresid = Profile.Cost.float_mul -. Profile.Cost.int_op
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
 (* ------------------------------------------------------------------ *)
 
-let eval_binop st op a b =
-  let fl = is_float a || is_float b in
-  let open Minic.Ast in
-  let charge_arith c =
-    charge st c;
-    if fl then st.prof.flops <- st.prof.flops + 1
-    else st.prof.int_ops <- st.prof.int_ops + 1
-  in
-  match op with
-  | Add ->
-      if fl then (
-        charge_arith Profile.Cost.float_add;
-        VFloat (to_float a +. to_float b))
-      else (
-        charge_arith Profile.Cost.int_op;
-        VInt (to_int a + to_int b))
-  | Sub ->
-      if fl then (
-        charge_arith Profile.Cost.float_add;
-        VFloat (to_float a -. to_float b))
-      else (
-        charge_arith Profile.Cost.int_op;
-        VInt (to_int a - to_int b))
-  | Mul ->
-      if fl then (
-        charge_arith Profile.Cost.float_mul;
-        VFloat (to_float a *. to_float b))
-      else (
-        charge_arith Profile.Cost.int_op;
-        VInt (to_int a * to_int b))
-  | Div ->
-      if fl then (
-        charge_arith Profile.Cost.float_div;
-        let d = to_float b in
-        VFloat (to_float a /. d))
-      else (
-        charge_arith Profile.Cost.int_op;
-        let d = to_int b in
-        if d = 0 then err "integer division by zero";
-        VInt (to_int a / d))
-  | Mod ->
-      charge_arith Profile.Cost.int_op;
-      let d = to_int b in
-      if d = 0 then err "integer modulo by zero";
-      VInt (to_int a mod d)
-  | Lt ->
-      charge st Profile.Cost.int_op;
-      VBool (if fl then to_float a < to_float b else to_int a < to_int b)
-  | Le ->
-      charge st Profile.Cost.int_op;
-      VBool (if fl then to_float a <= to_float b else to_int a <= to_int b)
-  | Gt ->
-      charge st Profile.Cost.int_op;
-      VBool (if fl then to_float a > to_float b else to_int a > to_int b)
-  | Ge ->
-      charge st Profile.Cost.int_op;
-      VBool (if fl then to_float a >= to_float b else to_int a >= to_int b)
-  | Eq ->
-      charge st Profile.Cost.int_op;
-      VBool (if fl then to_float a = to_float b else to_int a = to_int b)
-  | Ne ->
-      charge st Profile.Cost.int_op;
-      VBool (if fl then to_float a <> to_float b else to_int a <> to_int b)
-  | LAnd ->
-      charge st Profile.Cost.int_op;
-      VBool (to_bool a && to_bool b)
-  | LOr ->
-      charge st Profile.Cost.int_op;
-      VBool (to_bool a || to_bool b)
-
-let eval_math st name args =
-  match Minic.Builtins.cost_class name with
-  | None -> None
-  | Some cls ->
-      charge st (Profile.Cost.math_call cls);
-      st.prof.sfu_ops <- st.prof.sfu_ops + 1;
-      st.prof.flops <- st.prof.flops + Minic.Builtins.flops_of_class cls;
-      let f1 g = g (to_float (List.nth args 0)) in
-      let f2 g = g (to_float (List.nth args 0)) (to_float (List.nth args 1)) in
-      (* drop the '__' prefix of GPU intrinsics and the 'f' single-precision
-         suffix to recover the base math function *)
-      let strip n =
-        let n =
-          if String.length n > 2 && String.sub n 0 2 = "__" then
-            String.sub n 2 (String.length n - 2)
-          else n
-        in
-        if String.length n > 1 && n.[String.length n - 1] = 'f' then
-          String.sub n 0 (String.length n - 1)
-        else n
-      in
-      let base = strip name in
-      let v =
-        match base with
-        | "sqrt" | "fsqrt" -> f1 Float.sqrt
-        | "exp" -> f1 Float.exp
-        | "log" -> f1 Float.log
-        | "sin" -> f1 Float.sin
-        | "cos" -> f1 Float.cos
-        | "tanh" -> f1 Float.tanh
-        | "pow" -> f2 Float.pow
-        | "fabs" -> f1 Float.abs
-        | "floor" -> f1 Float.floor
-        | "fmin" -> f2 Float.min
-        | "fmax" -> f2 Float.max
-        | "fdivide" -> f2 ( /. )
-        | other -> err "unimplemented math builtin '%s'" other
-      in
-      Some (VFloat v)
-
-let rec eval_expr st frame (e : Minic.Ast.expr) : Value.t =
-  let open Minic.Ast in
-  match e.enode with
-  | Int_lit n -> VInt n
-  | Float_lit (f, _) -> VFloat f
-  | Bool_lit b -> VBool b
-  | Var v -> !(lookup st frame v)
-  | Unop (Neg, a) -> (
-      charge st Profile.Cost.int_op;
+let rec eval_expr st frame (e : Resolve.expr) : Value.t =
+  match e.e with
+  | ELit v -> v
+  | EVar r -> get_var st frame r
+  | ENeg a -> (
       match eval_expr st frame a with
       | VInt n -> VInt (-n)
       | VFloat f ->
           st.prof.flops <- st.prof.flops + 1;
           VFloat (-.f)
       | _ -> err "negation of a non-numeric value")
-  | Unop (Not, a) ->
-      charge st Profile.Cost.int_op;
-      VBool (not (to_bool (eval_expr st frame a)))
-  | Binop (op, a, b) ->
+  | ENot a -> VBool (not (to_bool (eval_expr st frame a)))
+  | EArith (op, fresid, a, b) ->
+      let va = eval_expr st frame a in
+      let vb = eval_expr st frame b in
+      do_arith st op fresid va vb
+  | EDiv (a, b) ->
+      let va = eval_expr st frame a in
+      let vb = eval_expr st frame b in
+      do_div st va vb
+  | EMod (a, b) ->
+      let va = eval_expr st frame a in
+      let vb = eval_expr st frame b in
+      do_mod st va vb
+  | ECmp (op, a, b) ->
+      let va = eval_expr st frame a in
+      let vb = eval_expr st frame b in
+      VBool (do_cmp op (is_float va || is_float vb) va vb)
+  | EAnd (a, b) ->
       (* && and || short-circuit like C *)
-      if op = LAnd then (
-        charge st Profile.Cost.int_op;
-        if to_bool (eval_expr st frame a) then
-          VBool (to_bool (eval_expr st frame b))
-        else VBool false)
-      else if op = LOr then (
-        charge st Profile.Cost.int_op;
-        if to_bool (eval_expr st frame a) then VBool true
-        else VBool (to_bool (eval_expr st frame b)))
-      else
-        let va = eval_expr st frame a in
-        let vb = eval_expr st frame b in
-        eval_binop st op va vb
-  | Index (a, i) ->
+      if to_bool (eval_expr st frame a) then (
+        charge st b.ecost;
+        VBool (to_bool (eval_expr st frame b)))
+      else VBool false
+  | EOr (a, b) ->
+      if to_bool (eval_expr st frame a) then VBool true
+      else (
+        charge st b.ecost;
+        VBool (to_bool (eval_expr st frame b)))
+  | EIndex (a, i) ->
       let p = to_ptr (eval_expr st frame a) in
       let i = to_int (eval_expr st frame i) in
-      charge st Profile.Cost.int_op;
       mem_load st { p with off = p.off + i }
-  | Cast (t, a) -> (
-      let v = eval_expr st frame a in
-      match t with
-      | Tint -> VInt (to_int v)
-      | Tfloat | Tdouble -> VFloat (to_float v)
-      | Tbool -> VBool (to_bool v)
-      | _ -> v)
-  | Call (fname, args) -> eval_call st frame fname args
+  | ECast (t, a) -> coerce t (eval_expr st frame a)
+  | ECall { callee; cargs } -> (
+      let args = List.map (eval_expr st frame) cargs in
+      match callee with
+      | User idx -> eval_user_call st idx args
+      | Math { mimpl; mflops } -> (
+          st.prof.sfu_ops <- st.prof.sfu_ops + 1;
+          st.prof.flops <- st.prof.flops + mflops;
+          match (mimpl, args) with
+          | M1 g, a :: _ -> VFloat (g (to_float a))
+          | M2 g, a :: b :: _ -> VFloat (g (to_float a) (to_float b))
+          | _ -> err "math builtin called with too few arguments")
+      | Math_unimpl base -> err "unimplemented math builtin '%s'" base
+      | Rand01 -> VFloat (rand01 st)
+      | Rand_int -> VInt (rand_int st (to_int (List.hd args)))
+      | Print_int ->
+          Buffer.add_string st.out
+            (string_of_int (to_int (List.hd args)) ^ "\n");
+          VUnit
+      | Print_float ->
+          Buffer.add_string st.out
+            (Printf.sprintf "%.6g\n" (to_float (List.hd args)));
+          VUnit
+      | Timer_start ->
+          Profile.timer_start st.prof (to_int (List.hd args));
+          VUnit
+      | Timer_stop ->
+          Profile.timer_stop st.prof (to_int (List.hd args));
+          VUnit
+      | Unknown fname -> err "call to unknown function '%s'" fname)
 
-and eval_call st frame fname arg_exprs =
-  let args = List.map (eval_expr st frame) arg_exprs in
-  match Minic.Ast.find_func_opt st.prog fname with
-  | Some f -> eval_user_call st f args
-  | None -> eval_builtin st fname args
-
-and eval_builtin st fname args =
-  match eval_math st fname args with
-  | Some v -> v
-  | None -> (
-      match (fname, args) with
-      | "rand01", [] ->
-          charge st Profile.Cost.call;
-          VFloat (rand01 st)
-      | "rand_int", [ n ] ->
-          charge st Profile.Cost.call;
-          VInt (rand_int st (to_int n))
-      | "print_int", [ v ] ->
-          Buffer.add_string st.out (string_of_int (to_int v) ^ "\n");
-          VUnit
-      | "print_float", [ v ] ->
-          Buffer.add_string st.out (Printf.sprintf "%.6g\n" (to_float v));
-          VUnit
-      | "__timer_start", [ k ] ->
-          Profile.timer_start st.prof (to_int k);
-          VUnit
-      | "__timer_stop", [ k ] ->
-          Profile.timer_stop st.prof (to_int k);
-          VUnit
-      | _ -> err "call to unknown function '%s'" fname)
-
-and eval_user_call st (f : Minic.Ast.func) args =
-  charge st Profile.Cost.call;
-  if List.length args <> List.length f.fparams then
-    err "call to '%s' with wrong arity" f.fname;
-  let callee_frame : frame = Hashtbl.create 16 in
-  List.iter2
-    (fun (p : Minic.Ast.param) v -> bind callee_frame p.pname_ v)
-    f.fparams args;
-  let is_focus = st.focus = Some f.fname && st.focus_depth = 0 in
+and eval_user_call st idx args =
+  (* the call's [Cost.call] cycles were batched by the caller's group
+     (or charged by [run_compiled] for the root call to [main]) *)
+  let f = st.cprog.cfuncs.(idx) in
+  if List.length args <> List.length f.cf_params then
+    err "call to '%s' with wrong arity" f.cf_name;
+  let frame = Array.make (max 1 f.cf_nslots) VUnit in
+  List.iteri (fun i v -> frame.(f.cf_param_slots.(i)) <- v) args;
+  let is_focus = idx = st.focus_idx && st.focus_depth = 0 in
   if is_focus then enter_focus st f args;
   let snapshot =
-    (st.prof.cycles, st.prof.flops, st.prof.sfu_ops, st.prof.bytes_read,
-     st.prof.bytes_written)
+    ( st.prof.cycles,
+      st.prof.flops,
+      st.prof.sfu_ops,
+      st.prof.bytes_read,
+      st.prof.bytes_written )
   in
   let result =
     try
-      eval_block st callee_frame f.fbody;
+      exec_block st frame f.cf_body;
       VUnit
     with Return_exc v -> v
   in
   if is_focus then exit_focus st snapshot;
   result
 
-and enter_focus st (f : Minic.Ast.func) args =
+and enter_focus st (f : Resolve.cfunc) args =
   let ptr_params =
     List.filteri
       (fun _ ((p : Minic.Ast.param), _) ->
         match p.ptyp with Minic.Ast.Tptr _ -> true | _ -> false)
-      (List.combine f.fparams args)
+      (List.combine f.cf_params args)
   in
   let k = kernel_obs st in
   if Array.length k.args = 0 then
@@ -408,118 +373,111 @@ and exit_focus st (c0, f0, s0, br0, bw0) =
 (* Statement evaluation                                                *)
 (* ------------------------------------------------------------------ *)
 
-and eval_stmt st frame (s : Minic.Ast.stmt) =
-  let open Minic.Ast in
+and exec_stmt st frame (s : Resolve.stmt) =
   st.fuel <- st.fuel - 1;
   if st.fuel <= 0 then err "execution budget exhausted (infinite loop?)";
-  match s.snode with
-  | Decl d -> (
-      match d.dsize with
-      | Some size_e ->
-          let n = to_int (eval_expr st frame size_e) in
-          let v = Memory.alloc st.mem ~name:d.dname ~elem_typ:d.dtyp n in
-          bind frame d.dname v
-      | None ->
-          let v =
-            match d.dinit with
-            | Some e -> coerce d.dtyp (eval_expr st frame e)
-            | None -> Value.zero_of_typ d.dtyp
-          in
-          bind frame d.dname v)
-  | Assign (lv, op, e) -> (
-      let rhs = eval_expr st frame e in
-      match lv with
-      | Lvar v ->
-          let r = lookup st frame v in
-          r := apply_assign st op !r rhs
-      | Lindex (a, i) ->
-          let p = to_ptr (eval_expr st frame a) in
-          let i = to_int (eval_expr st frame i) in
-          charge st Profile.Cost.int_op;
-          let p = { p with off = p.off + i } in
-          let v =
-            if op = Set then coerce_region st p rhs
-            else
-              let old = mem_load st p in
-              apply_assign st op old rhs
-          in
-          mem_store st p v)
-  | Expr_stmt e -> ignore (eval_expr st frame e)
-  | If (c, b1, b2) ->
-      charge st Profile.Cost.branch;
-      if to_bool (eval_expr st frame c) then eval_block st frame b1
-      else Option.iter (eval_block st frame) b2
-  | While (c, b) ->
-      let stat = Profile.loop_stat st.prof s.sid in
+  match s with
+  | SDeclVar { slot; typ; init } ->
+      let v =
+        match init with
+        | Some e -> coerce typ (eval_expr st frame e)
+        | None -> Value.zero_of_typ typ
+      in
+      set_var st frame slot v
+  | SDeclArr { slot; typ; name; size } ->
+      let n = to_int (eval_expr st frame size) in
+      set_var st frame slot (Memory.alloc st.mem ~name ~elem_typ:typ n)
+  | SAssign { slot; aop; rhs } -> (
+      let rhs = eval_expr st frame rhs in
+      match aop with
+      | Set -> set_var st frame slot rhs
+      | _ ->
+          set_var st frame slot
+            (apply_assign st aop (get_var st frame slot) rhs))
+  | SStore { arr; idx; aop; rhs } ->
+      let rhs = eval_expr st frame rhs in
+      let p = to_ptr (eval_expr st frame arr) in
+      let i = to_int (eval_expr st frame idx) in
+      let p = { p with off = p.off + i } in
+      let v =
+        if aop = Minic.Ast.Set then coerce_region st p rhs
+        else apply_assign st aop (mem_load st p) rhs
+      in
+      mem_store st p v
+  | SExpr e -> ignore (eval_expr st frame e)
+  | SIf (c, b1, b2) ->
+      if to_bool (eval_expr st frame c) then exec_block st frame b1
+      else Option.iter (exec_block st frame) b2
+  | SWhile { wsid; cond; body } ->
+      let stat = Profile.loop_stat st.prof wsid in
       stat.invocations <- stat.invocations + 1;
       let t0 = st.prof.cycles in
       let trips = ref 0 in
       charge st Profile.Cost.branch;
-      while to_bool (eval_expr st frame c) do
-        incr trips;
-        stat.iterations <- stat.iterations + 1;
-        st.fuel <- st.fuel - 1;
-        if st.fuel <= 0 then err "execution budget exhausted (infinite loop?)";
-        charge st (Profile.Cost.loop_iter +. Profile.Cost.branch);
-        eval_block st frame b
-      done;
+      let rec loop () =
+        charge st cond.ecost;
+        if to_bool (eval_expr st frame cond) then (
+          incr trips;
+          stat.iterations <- stat.iterations + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then
+            err "execution budget exhausted (infinite loop?)";
+          charge st (Profile.Cost.loop_iter +. Profile.Cost.branch);
+          exec_block st frame body;
+          loop ())
+      in
+      loop ();
       stat.min_trip <- min stat.min_trip !trips;
       stat.max_trip <- max stat.max_trip !trips;
       stat.cycles <- stat.cycles +. (st.prof.cycles -. t0)
-  | For (h, b) ->
-      let stat = Profile.loop_stat st.prof s.sid in
+  | SFor { fsid; slot; init; bound; inclusive; step; body } ->
+      let stat = Profile.loop_stat st.prof fsid in
       stat.invocations <- stat.invocations + 1;
       let t0 = st.prof.cycles in
-      let i0 = to_int (eval_expr st frame h.init) in
-      let idx = ref (VInt i0) in
-      bind frame h.index !idx;
-      let r = lookup st frame h.index in
+      charge st init.ecost;
+      let i0 = to_int (eval_expr st frame init) in
+      set_var st frame slot (VInt i0);
       let trips = ref 0 in
-      let continue () =
-        charge st Profile.Cost.branch;
-        let bound = to_int (eval_expr st frame h.bound) in
-        let i = to_int !r in
-        if h.inclusive then i <= bound else i < bound
+      let continue_ () =
+        charge st (Profile.Cost.branch +. bound.ecost);
+        let b = to_int (eval_expr st frame bound) in
+        let i = to_int (get_var st frame slot) in
+        if inclusive then i <= b else i < b
       in
-      while continue () do
+      while continue_ () do
         incr trips;
         stat.iterations <- stat.iterations + 1;
         st.fuel <- st.fuel - 1;
         if st.fuel <= 0 then err "execution budget exhausted (infinite loop?)";
         charge st (Profile.Cost.loop_iter +. Profile.Cost.int_op);
-        eval_block st frame b;
-        let step = to_int (eval_expr st frame h.step) in
-        r := VInt (to_int !r + step)
+        exec_block st frame body;
+        charge st step.ecost;
+        let stepv = to_int (eval_expr st frame step) in
+        set_var st frame slot (VInt (to_int (get_var st frame slot) + stepv))
       done;
       stat.min_trip <- min stat.min_trip !trips;
       stat.max_trip <- max stat.max_trip !trips;
       stat.cycles <- stat.cycles +. (st.prof.cycles -. t0)
-  | Return eo ->
+  | SReturn eo ->
       let v =
         match eo with Some e -> eval_expr st frame e | None -> VUnit
       in
       raise (Return_exc v)
-  | Block b -> eval_block st frame b
+  | SBlock b -> exec_block st frame b
 
-and eval_block st frame b = List.iter (eval_stmt st frame) b
+and exec_group st frame (g : Resolve.group) =
+  if g.gcost <> 0.0 then charge st g.gcost;
+  List.iter (exec_stmt st frame) g.gstmts
+
+and exec_block st frame (b : Resolve.block) = List.iter (exec_group st frame) b
 
 and apply_assign st op old rhs =
   match op with
   | Minic.Ast.Set -> rhs
-  | Minic.Ast.AddEq -> eval_binop st Minic.Ast.Add old rhs
-  | Minic.Ast.SubEq -> eval_binop st Minic.Ast.Sub old rhs
-  | Minic.Ast.MulEq -> eval_binop st Minic.Ast.Mul old rhs
-  | Minic.Ast.DivEq -> eval_binop st Minic.Ast.Div old rhs
-
-and coerce typ v =
-  match typ with
-  | Minic.Ast.Tint -> VInt (to_int v)
-  | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> VFloat (to_float v)
-  | Minic.Ast.Tbool -> VBool (to_bool v)
-  | _ -> v
-
-and coerce_region st (p : Value.ptr) v =
-  coerce (Memory.region st.mem p.mem_id).elem_typ v
+  | Minic.Ast.AddEq -> do_arith st Minic.Ast.Add arith_fresid old rhs
+  | Minic.Ast.SubEq -> do_arith st Minic.Ast.Sub arith_fresid old rhs
+  | Minic.Ast.MulEq -> do_arith st Minic.Ast.Mul mul_fresid old rhs
+  | Minic.Ast.DivEq -> do_div st old rhs
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -532,22 +490,29 @@ type run = {
   return_value : Value.t;
 }
 
-(** Run [program] from [main].
+(** Slot-compile a program once; the result can be executed many times
+    with {!run_compiled}. *)
+let compile = Resolve.compile
 
-    @param focus name of the kernel function to profile as an offload
-      candidate (collects {!Profile.kernel_obs})
-    @param fuel statement-execution budget; the default (200 million) is a
-      safety net against accidental infinite loops in transformed code *)
-let run ?focus ?(fuel = 200_000_000) (program : Minic.Ast.program) : run =
+(** Run an already-compiled program from [main]. *)
+let run_compiled ?focus ?(fuel = 200_000_000) (cp : Resolve.t) : run =
+  let focus_idx =
+    match focus with
+    | None -> -1
+    | Some name -> (
+        match Hashtbl.find_opt cp.func_index name with
+        | Some i -> i
+        | None -> -1)
+  in
   let st =
     {
-      prog = program;
+      cprog = cp;
       mem = Memory.create ();
       prof = Profile.create ();
-      globals = Hashtbl.create 16;
+      garray = Array.make (max 1 cp.nglobals) VUnit;
       out = Buffer.create 256;
       rng = 123456789;
-      focus;
+      focus_idx;
       focus_depth = 0;
       focus_args = Hashtbl.create 8;
       focus_state = Hashtbl.create 8;
@@ -555,11 +520,17 @@ let run ?focus ?(fuel = 200_000_000) (program : Minic.Ast.program) : run =
     }
   in
   (* globals evaluate in the global frame *)
-  List.iter (eval_stmt st st.globals) program.globals;
-  let main =
-    match Minic.Ast.find_func_opt program "main" with
-    | Some f -> f
-    | None -> err "program has no 'main' function"
-  in
-  let return_value = eval_user_call st main [] in
+  exec_block st st.garray cp.cglobals;
+  if cp.main_idx < 0 then err "program has no 'main' function";
+  charge st Profile.Cost.call;
+  let return_value = eval_user_call st cp.main_idx [] in
   { profile = st.prof; output = Buffer.contents st.out; return_value }
+
+(** Run [program] from [main].
+
+    @param focus name of the kernel function to profile as an offload
+      candidate (collects {!Profile.kernel_obs})
+    @param fuel statement-execution budget; the default (200 million) is a
+      safety net against accidental infinite loops in transformed code *)
+let run ?focus ?fuel (program : Minic.Ast.program) : run =
+  run_compiled ?focus ?fuel (Resolve.compile program)

@@ -21,3 +21,11 @@ type run = {
     @raise Value.Runtime_error on runtime faults (out-of-bounds access,
       integer division by zero, fuel exhaustion, missing [main], ...) *)
 val run : ?focus:string -> ?fuel:int -> Minic.Ast.program -> run
+
+(** Slot-compile a program once (see {!Resolve}); the result can be
+    executed many times with {!run_compiled} without re-resolving. *)
+val compile : Minic.Ast.program -> Resolve.t
+
+(** Run an already-compiled program from [main].  Equivalent to {!run}
+    on the source program. *)
+val run_compiled : ?focus:string -> ?fuel:int -> Resolve.t -> run

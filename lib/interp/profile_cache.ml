@@ -1,0 +1,103 @@
+(** Shared profile cache.
+
+    Every dynamic design-flow task (hotspot detection, trip counts, data
+    in/out, alias analysis, feature extraction) observes a program by
+    interpreting it.  Within one flow the same program — at the same
+    workload size and with the same focus function — is interpreted over
+    and over; this module memoizes those runs so all consumers share one
+    instrumented execution.
+
+    Keying.  The cache key is a digest of the pretty-printed source, the
+    pre-order list of loop statement ids, and the focus function name.
+    Loop ids must be part of the key because the profile's per-loop trip
+    statistics are keyed by them: two structurally equal programs whose
+    loops carry different ids need distinct entries.  Conversely,
+    instrumentation wrappers (timer hooks) appear in the pretty output
+    (and their timer keys are literal arguments), so instrumented
+    variants hash differently from the bare program, while re-running
+    the *same* instrumented variant hits.  The workload size [n] needs
+    no dedicated key component: it is baked into the program text.
+
+    Entries are returned by reference; treat cached {!Eval.run} values
+    (and their profiles) as read-only.
+
+    The cache is a process-wide table guarded by a mutex so DSE worker
+    domains can share it; the interpreter run itself executes outside
+    the lock (a racing miss may compute the same entry twice, which is
+    harmless because runs are deterministic). *)
+
+let lock = Mutex.create ()
+let table : (string, Eval.run) Hashtbl.t = Hashtbl.create 64
+
+type stats = { mutable hits : int; mutable misses : int }
+
+let counters = { hits = 0; misses = 0 }
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "PSAFLOW_NO_CACHE" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
+(** Turn the cache off (analyses fall back to fresh runs) or back on.
+    Also controlled by the [PSAFLOW_NO_CACHE] env var. *)
+let set_enabled b = enabled := b
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(** Drop all entries (keeps the hit/miss counters). *)
+let clear () = with_lock (fun () -> Hashtbl.reset table)
+
+(** Cumulative (hits, misses) since start or {!reset_stats}. *)
+let stats () = with_lock (fun () -> (counters.hits, counters.misses))
+
+let reset_stats () =
+  with_lock (fun () ->
+      counters.hits <- 0;
+      counters.misses <- 0)
+
+let key ?focus (p : Minic.Ast.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Minic.Pretty.program_to_string p);
+  Buffer.add_char buf '\000';
+  Minic.Ast.iter_program
+    ~fs:(fun s ->
+      match s.snode with
+      | For _ | While _ ->
+          Buffer.add_string buf (string_of_int s.sid);
+          Buffer.add_char buf ';'
+      | _ -> ())
+    p;
+  (match focus with
+  | Some f ->
+      Buffer.add_char buf '#';
+      Buffer.add_string buf f
+  | None -> ());
+  Digest.string (Buffer.contents buf)
+
+(** Like {!Eval.run}, but memoized.  Only the default fuel budget is
+    cacheable; callers that restrict fuel must use {!Eval.run}
+    directly. *)
+let run ?focus (p : Minic.Ast.program) : Eval.run =
+  if not !enabled then Eval.run ?focus p
+  else
+    let k = key ?focus p in
+    let cached =
+      with_lock (fun () ->
+          match Hashtbl.find_opt table k with
+          | Some r ->
+              counters.hits <- counters.hits + 1;
+              Some r
+          | None ->
+              counters.misses <- counters.misses + 1;
+              None)
+    in
+    match cached with
+    | Some r -> r
+    | None ->
+        let r = Eval.run ?focus p in
+        with_lock (fun () ->
+            if not (Hashtbl.mem table k) then Hashtbl.add table k r);
+        r

@@ -132,15 +132,16 @@ type program = { globals : stmt list; funcs : func list }
 (* Node-id supply                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let id_counter = ref 0
+(* Atomic so that programs may be parsed / transformed from several
+   domains concurrently (the DSE pool does this) without ever handing
+   two nodes the same id. *)
+let id_counter = Atomic.make 0
 
 (** Allocate a fresh node id. *)
-let fresh_id () =
-  incr id_counter;
-  !id_counter
+let fresh_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 (** Reset the id supply. Only used by tests that need reproducible ids. *)
-let reset_ids () = id_counter := 0
+let reset_ids () = Atomic.set id_counter 0
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo health check: full build, full test suite, perf smoke.
+# Run from anywhere; operates on the repo this script lives in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== perf smoke (bench/main.exe perf --quick) =="
+dune exec bench/main.exe -- perf --quick
+
+echo "OK"

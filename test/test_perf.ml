@@ -1,0 +1,235 @@
+(** Fast-path safety nets: the shared profile cache must be invisible to
+    every analysis, and the domain pool must be invisible to every DSE
+    sweep and flow fan-out. *)
+
+let cache = Minic_interp.Profile_cache.clear
+let set_cache = Minic_interp.Profile_cache.set_enabled
+
+let with_cache_off f =
+  cache ();
+  set_cache false;
+  Fun.protect ~finally:(fun () -> set_cache true; cache ()) f
+
+let with_jobs n f =
+  let saved = !Dse.Pool.override in
+  Dse.Pool.override := Some n;
+  Fun.protect ~finally:(fun () -> Dse.Pool.override := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Cached vs uncached analyses                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trip_list (t : Analysis.Trip_count.t) =
+  Hashtbl.fold (fun sid s acc -> (sid, s) :: acc) t []
+  |> List.sort compare
+
+(* Every observation the flow's dynamic tasks consume, computed once
+   with the cache disabled and twice with it enabled (second pass all
+   hits), must be structurally identical. *)
+let check_benchmark (b : Benchmarks.Bench_app.t) () =
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let analyses () =
+    let hot = Analysis.Hotspot.detect p in
+    let trips = trip_list (Analysis.Trip_count.analyze p) in
+    let ex, kernel, _ = Psa.Std_flow.prepare_kernel p in
+    let dio = Analysis.Data_inout.analyze ex ~kernel in
+    let alias = Analysis.Alias.analyze ex ~kernel in
+    let feats = Analysis.Features.analyze ex ~kernel in
+    (hot, trips, dio, alias, feats)
+  in
+  let uncached = with_cache_off analyses in
+  cache ();
+  Minic_interp.Profile_cache.reset_stats ();
+  let cached1 = analyses () in
+  let cached2 = analyses () in
+  let hits, misses = Minic_interp.Profile_cache.stats () in
+  Alcotest.(check bool) "cached pass 1 = uncached" true (uncached = cached1);
+  Alcotest.(check bool) "cached pass 2 = uncached" true (uncached = cached2);
+  Alcotest.(check bool)
+    (Printf.sprintf "cache was exercised (%d hits, %d misses)" hits misses)
+    true
+    (hits > 0 && misses > 0 && hits > misses);
+  cache ()
+
+let cache_tests =
+  List.map
+    (fun (b : Benchmarks.Bench_app.t) ->
+      Alcotest.test_case b.id `Slow (check_benchmark b))
+    (Benchmarks.Registry.all @ Benchmarks.Registry.extras)
+
+(* Distinct programs must never share a cache entry, even when they are
+   structurally identical (their loop ids differ, and per-loop stats are
+   keyed by those ids). *)
+let distinct_ids_distinct_entries () =
+  let src = {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) { s += i; }
+  return s;
+}
+|} in
+  let p1 = Minic.Parser.parse_program src in
+  let p2 = Minic.Parser.parse_program src in
+  cache ();
+  let r1 = Minic_interp.Profile_cache.run p1 in
+  let r2 = Minic_interp.Profile_cache.run p2 in
+  let sids t = Hashtbl.fold (fun sid _ acc -> sid :: acc) t [] in
+  Alcotest.(check bool)
+    "loop stats keyed by each program's own ids" false
+    (List.sort compare (sids r1.profile.loops)
+    = List.sort compare (sids r2.profile.loops));
+  Alcotest.(check (float 0.0))
+    "identical cycles" r1.profile.cycles r2.profile.cycles;
+  cache ()
+
+(* Re-running the same parsed program hits; the hit returns the same
+   observations. *)
+let same_program_hits () =
+  let p =
+    Minic.Parser.parse_program
+      {|
+int main() {
+  double x = 0.0;
+  for (int i = 0; i < 100; i++) { x = x + 1.5; }
+  print_float(x);
+  return 0;
+}
+|}
+  in
+  cache ();
+  Minic_interp.Profile_cache.reset_stats ();
+  let r1 = Minic_interp.Profile_cache.run p in
+  let r2 = Minic_interp.Profile_cache.run p in
+  let hits, misses = Minic_interp.Profile_cache.stats () in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check string) "same output" r1.output r2.output;
+  Alcotest.(check (float 0.0)) "same cycles" r1.profile.cycles
+    r2.profile.cycles;
+  cache ()
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_order () =
+  let xs = List.init 100 Fun.id in
+  let expect = List.map (fun x -> (2 * x) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map with %d jobs preserves order" jobs)
+        expect
+        (Dse.Pool.map ~jobs (fun x -> (2 * x) + 1) xs))
+    [ 1; 2; 4; 7 ]
+
+let pool_exception () =
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      ignore
+        (Dse.Pool.map ~jobs:4
+           (fun x -> if x = 13 then failwith "boom" else x)
+           (List.init 20 Fun.id)))
+
+let pool_jobs_env () =
+  with_jobs 3 (fun () ->
+      Alcotest.(check int) "override wins" 3 (Dse.Pool.jobs ()))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel DSE = sequential DSE (qcheck)                              *)
+(* ------------------------------------------------------------------ *)
+
+let features_gen =
+  QCheck.Gen.(
+    let* trip_exp = float_range 3.0 7.0 in
+    let* flops = float_range 2.0 400.0 in
+    let* bytes = float_range 4.0 64.0 in
+    let* regs = int_range 16 200 in
+    let* parallel = bool in
+    return
+      (Feat_fixtures.make ~outer_trip:(10.0 ** trip_exp)
+         ~flops_per_iter:flops ~bytes_in_per_iter:bytes
+         ~bytes_out_per_iter:bytes ~regs ~outer_parallel:parallel ()))
+
+let features_arb =
+  QCheck.make ~print:(fun (f : Analysis.Features.t) ->
+      Printf.sprintf "trip=%g flops/iter=%g regs=%d" f.outer_trip
+        (f.flops_per_call /. f.outer_trip)
+        f.regs_estimate)
+    features_gen
+
+(* Each DSE must visit the same candidate set, pick the same winner and
+   produce the same annotated design no matter how many domains sweep
+   the candidates. *)
+let dse_prop name run_dse =
+  QCheck.Test.make ~count:25 ~name features_arb (fun features ->
+      let seq = with_jobs 1 (fun () -> run_dse features) in
+      let par = with_jobs 4 (fun () -> run_dse features) in
+      seq = par)
+
+let unroll_prop =
+  dse_prop "unroll" (fun f ->
+      let d =
+        Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi
+          ~device_id:"arria10" ()
+      in
+      let r = Dse.Unroll_dse.run d f in
+      (r.chosen_factor, r.synthesizable, r.steps, r.design.unroll_factor))
+
+let blocksize_prop =
+  dse_prop "blocksize" (fun f ->
+      let d = Feat_fixtures.design ~target:Codegen.Design.Gpu_hip ~device_id:"gtx1080ti" () in
+      let r = Dse.Blocksize_dse.run d f in
+      (r.chosen_blocksize, r.steps, r.design.blocksize))
+
+let threads_prop =
+  dse_prop "threads" (fun f ->
+      let d =
+        Feat_fixtures.design ~target:Codegen.Design.Cpu_openmp
+          ~device_id:"epyc7543" ()
+      in
+      let r = Dse.Threads_dse.run d f in
+      (r.chosen_threads, r.steps, r.design.num_threads))
+
+(* The flow's branch fan-out must produce the same designs in the same
+   order with and without worker domains. *)
+let uninformed_parallel_identical () =
+  let app = List.nth Benchmarks.Registry.all 2 (* bezier: smallest *) in
+  let fingerprint (o : Psa.Std_flow.outcome) =
+    List.map
+      (fun (r : Devices.Simulate.result) ->
+        (r.design.name, r.seconds, r.speedup, r.feasible))
+      o.results
+  in
+  let run () =
+    fingerprint
+      (Psa.Std_flow.run_uninformed (Benchmarks.Bench_app.context app))
+  in
+  let seq = with_cache_off (fun () -> with_jobs 1 run) in
+  let par = with_cache_off (fun () -> with_jobs 4 run) in
+  Alcotest.(check bool) "sequential = parallel designs" true (seq = par)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "cache",
+        cache_tests
+        @ [
+            Alcotest.test_case "distinct ids, distinct entries" `Quick
+              distinct_ids_distinct_entries;
+            Alcotest.test_case "same program hits" `Quick same_program_hits;
+          ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick pool_order;
+          Alcotest.test_case "exceptions propagate" `Quick pool_exception;
+          Alcotest.test_case "jobs override" `Quick pool_jobs_env;
+        ] );
+      ( "dse-parallel",
+        [
+          QCheck_alcotest.to_alcotest unroll_prop;
+          QCheck_alcotest.to_alcotest blocksize_prop;
+          QCheck_alcotest.to_alcotest threads_prop;
+          Alcotest.test_case "uninformed flow fan-out" `Slow
+            uninformed_parallel_identical;
+        ] );
+    ]
