@@ -131,44 +131,46 @@ let run ~quick () =
     prerr_endline "ERROR: parallel/cached outputs diverge from sequential!";
 
   (* -- report ------------------------------------------------------ *)
+  let json =
+    let open Flow_service.Json in
+    Obj
+      [
+        ("bench", String "psaflow-perf");
+        ("quick", Bool quick);
+        ("cores", Int (Domain.recommended_domain_count ()));
+        ("jobs", Int jobs);
+        ( "interp",
+          Obj
+            [
+              ("benchmark", String heavy.id);
+              ("run_s", Float interp_s);
+              ("virtual_mcycles", Float mcycles);
+              ("mcycles_per_s", Float (mcycles /. interp_s));
+            ] );
+        ( "cache",
+          Obj
+            [
+              ("benchmark", String heavy.id);
+              ("rounds", Int reps);
+              ("cold_s", Float cold_s);
+              ("cached_s", Float warm_s);
+              ("speedup", Float cache_speedup);
+              ("hits", Int hits);
+              ("misses", Int misses);
+            ] );
+        ( "flow",
+          Obj
+            [
+              ("benchmarks", Int (List.length Benchmarks.Registry.all));
+              ("sequential_uncached_s", Float seq_s);
+              ("parallel_cached_s", Float par_s);
+              ("speedup", Float flow_speedup);
+              ("outputs_identical", Bool identical);
+            ] );
+      ]
+  in
   let oc = open_out json_out in
-  Printf.fprintf oc
-    {|{
-  "bench": "psaflow-perf",
-  "quick": %b,
-  "cores": %d,
-  "jobs": %d,
-  "interp": {
-    "benchmark": "%s",
-    "run_s": %.6f,
-    "virtual_mcycles": %.3f,
-    "mcycles_per_s": %.2f
-  },
-  "cache": {
-    "benchmark": "%s",
-    "rounds": %d,
-    "cold_s": %.6f,
-    "cached_s": %.6f,
-    "speedup": %.2f,
-    "hits": %d,
-    "misses": %d
-  },
-  "flow": {
-    "benchmarks": %d,
-    "sequential_uncached_s": %.6f,
-    "parallel_cached_s": %.6f,
-    "speedup": %.2f,
-    "outputs_identical": %b
-  }
-}
-|}
-    quick
-    (Domain.recommended_domain_count ())
-    jobs heavy.id interp_s mcycles
-    (mcycles /. interp_s)
-    heavy.id reps cold_s warm_s cache_speedup hits misses
-    (List.length Benchmarks.Registry.all)
-    seq_s par_s flow_speedup identical;
+  output_string oc (Flow_service.Json.to_string_pretty json);
   close_out oc;
   Printf.printf "wrote %s\n%!" json_out;
   if not identical then exit 1

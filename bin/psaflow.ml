@@ -1,15 +1,62 @@
 (** psaflow — command-line driver for the PSA-flow toolchain.
 
-    Subcommands:
+    One-shot subcommands:
     - [run BENCH]: run the PSA-flow (informed by default; [--uninformed]
       generates all five designs) and print the flow log and timed
       results;
     - [list]: list benchmarks and the task repository;
     - [export BENCH DESIGN]: print a generated design's source;
     - [analyze BENCH]: print the hotspot, kernel features and the Fig. 3
-      strategy decision. *)
+      strategy decision;
+    - [report [--json]]: the measured Fig. 5 / Table I / Fig. 6 data.
+
+    Service subcommands (the flow-as-a-service daemon):
+    - [serve]: run the daemon on a Unix socket (or TCP with
+      [--socket HOST:PORT]);
+    - [submit [BENCH | --file SRC.c]]: submit a flow job, optionally
+      [--wait]ing for and printing its report;
+    - [status [JOB_ID]]: one job's state, or the full job list;
+    - [fetch JOB_ID]: print a finished job's report;
+    - [svc-metrics]: the daemon's metrics as JSON;
+    - [svc-shutdown]: drain and stop the daemon. *)
 
 open Cmdliner
+module Protocol = Flow_service.Protocol
+module Client = Flow_service.Client
+module Json = Flow_service.Json
+
+(* ------------------------------------------------------------------ *)
+(* Error discipline: user mistakes exit non-zero with one line         *)
+(* ------------------------------------------------------------------ *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("psaflow: " ^ m);
+      exit 1)
+    fmt
+
+let find_bench id =
+  try Benchmarks.Registry.find id
+  with Invalid_argument _ ->
+    die "unknown benchmark %S (available: %s)" id
+      (String.concat ", " Benchmarks.Registry.ids)
+
+(** Run [f], turning the toolchain's diagnosable exceptions into a
+    one-line stderr message and exit code 1 (no backtrace). *)
+let protect f =
+  try f () with
+  | Minic.Lexer.Lex_error (m, loc) ->
+      die "MiniC lex error: %s at %s" m
+        (Format.asprintf "%a" Minic.Loc.pp_short loc)
+  | Minic.Parser.Parse_error (m, loc) ->
+      die "MiniC parse error: %s at %s" m
+        (Format.asprintf "%a" Minic.Loc.pp_short loc)
+  | Minic.Typecheck.Type_error (m, loc) ->
+      die "MiniC type error: %s at %s" m
+        (Format.asprintf "%a" Minic.Loc.pp_short loc)
+  | Psa.Std_flow.Flow_error m -> die "flow error: %s" m
+  | Client.Client_error m -> die "%s" m
 
 let bench_arg =
   let doc =
@@ -21,13 +68,13 @@ let x_arg =
   let doc = "FLOPs/byte threshold X of the PSA strategy (Fig. 3)." in
   Arg.(value & opt float 2.0 & info [ "x-threshold"; "x" ] ~doc)
 
+(* the daemon's report is rendered by the same function, so CLI runs and
+   fetched service results are byte-identical *)
 let print_results results =
-  Format.printf "@.%a" Psa.Report.pp_results results;
-  match Psa.Report.best results with
-  | Some b ->
-      Format.printf "@.best: %s (%.1fx)@." b.design.name b.speedup
-  | None -> Format.printf "@.no feasible design@."
+  print_string (Flow_service.Flow_exec.render_report results)
 
+(* ------------------------------------------------------------------ *)
+(* One-shot commands                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
@@ -47,7 +94,8 @@ let run_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the flow event log.")
   in
   let run bench uninformed budget x verbose =
-    let app = Benchmarks.Registry.find bench in
+    protect @@ fun () ->
+    let app = find_bench bench in
     let ctx = Benchmarks.Bench_app.context ~x_threshold:x ?budget app in
     Format.printf "running %s PSA-flow on %s (profile n=%d, eval n=%d)@."
       (if uninformed then "uninformed" else "informed")
@@ -83,7 +131,8 @@ let list_cmd =
 
 let analyze_cmd =
   let run bench x =
-    let app = Benchmarks.Registry.find bench in
+    protect @@ fun () ->
+    let app = find_bench bench in
     let ctx = Benchmarks.Bench_app.context ~x_threshold:x app in
     let ctxs = Psa.Flow.run Psa.Std_flow.target_independent ctx in
     List.iter
@@ -108,7 +157,8 @@ let export_cmd =
             "Design name, e.g. omp_epyc7543, hip_rtx2080ti, oneapi_stratix10.")
   in
   let run bench design_name =
-    let app = Benchmarks.Registry.find bench in
+    protect @@ fun () ->
+    let app = find_bench bench in
     let ctx = Benchmarks.Bench_app.context app in
     let outcome = Psa.Std_flow.run_uninformed ctx in
     match
@@ -118,22 +168,26 @@ let export_cmd =
     with
     | Some r -> print_string (Codegen.Design.export r.design)
     | None ->
-        Format.eprintf "no design %s; available: %s@." design_name
+        die "no design %S; available: %s" design_name
           (String.concat ", "
              (List.map
                 (fun (r : Devices.Simulate.result) -> r.design.name)
-                outcome.results));
-        exit 1
+                outcome.results))
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Print the generated source of one design.")
     Term.(const run $ bench_arg $ design_arg)
 
 let debug_cmd_t =
+  let run bench =
+    protect @@ fun () ->
+    ignore (find_bench bench);
+    Debug_cmd.run bench
+  in
   Cmd.v
     (Cmd.info "debug"
        ~doc:"Print model breakdowns and features for calibration.")
-    Term.(const Debug_cmd.run $ bench_arg)
+    Term.(const run $ bench_arg)
 
 let flow_cmd =
   let dot =
@@ -149,9 +203,271 @@ let flow_cmd =
        ~doc:"Render the standard PSA-flow (the paper's Fig. 4) as a diagram.")
     Term.(const run $ dot)
 
+let report_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit machine-readable JSON instead of the text tables.")
+  in
+  let run json = protect @@ fun () -> Report_cmd.run ~json () in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Measure and print the Fig. 5 / Table I / Fig. 6 evaluation data \
+          (all five benchmarks).")
+    Term.(const run $ json)
+
+(* ------------------------------------------------------------------ *)
+(* Service commands                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc =
+    "Daemon address: a Unix socket path, or HOST:PORT for TCP.  Defaults \
+     to $(b,PSAFLOW_SOCKET) or the system temp dir."
+  in
+  Arg.(
+    value
+    & opt string (Protocol.default_socket_path ())
+    & info [ "socket" ] ~docv:"ADDR" ~doc)
+
+let addr_of socket = Protocol.addr_of_string socket
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt int (Flow_service.Scheduler.default_workers ())
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker threads draining the job queue (default \
+             $(b,PSAFLOW_SERVICE_WORKERS) or 2).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Queued-job bound; submissions beyond it get queue_full.")
+  in
+  let store_cap =
+    Arg.(
+      value & opt int 256
+      & info [ "store-cap" ] ~docv:"N"
+          ~doc:"Result-store capacity (LRU-evicted beyond it).")
+  in
+  let run socket workers queue_cap store_cap =
+    protect @@ fun () ->
+    let addr = addr_of socket in
+    Format.printf "psaflow daemon listening on %s (%d workers)@."
+      (Protocol.addr_to_string addr)
+      workers;
+    Flow_service.Server.serve
+      ~config:
+        {
+          Flow_service.Server.workers;
+          queue_capacity = queue_cap;
+          store_capacity = store_cap;
+        }
+      addr;
+    Format.printf "psaflow daemon drained and stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the flow daemon (blocks until svc-shutdown).")
+    Term.(const run $ socket_arg $ workers $ queue_cap $ store_cap)
+
+let pp_job_line (j : Protocol.job_view) =
+  Format.printf "job #%d  %-12s %-10s %-12s %-7s%s%s@." j.job_id j.label
+    (Protocol.mode_to_string j.mode)
+    (Protocol.strategy_to_string j.strategy)
+    (Protocol.state_to_string j.state)
+    (if j.cached then " (cached)" else "")
+    (match j.wall_s with
+    | Some s -> Printf.sprintf "  %.3f s" s
+    | None -> "")
+
+let submit_cmd =
+  let bench_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark to submit (omit with --file).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"SRC.c" ~doc:"Submit an inline MiniC source file.")
+  in
+  let uninformed =
+    Arg.(
+      value & flag
+      & info [ "uninformed" ] ~doc:"Generate all designs (all paths at A).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum (List.map (fun s -> (s, s)) Protocol.strategy_names)) "fig3"
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            (Printf.sprintf "PSA strategy at branch point A: %s."
+               (String.concat ", " Protocol.strategy_names)))
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~doc:"Cost budget in dollars per run.")
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ] ~doc:"Block until the job finishes; print its report.")
+  in
+  let run socket bench_id file uninformed strategy budget x wait =
+    protect @@ fun () ->
+    let source =
+      match (bench_id, file) with
+      | Some id, None ->
+          ignore (find_bench id);
+          Protocol.Bench id
+      | None, Some path ->
+          let ic = open_in_bin path in
+          let src =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Protocol.Inline src
+      | _ -> die "exactly one of BENCH or --file is required"
+    in
+    let submission =
+      Protocol.submission
+        ~mode:(if uninformed then Protocol.Uninformed else Protocol.Informed)
+        ~strategy:
+          (Option.get (Protocol.strategy_of_string strategy))
+        ~x_threshold:x ?budget source
+    in
+    let addr = addr_of socket in
+    if wait then
+      match Client.submit_and_wait addr submission with
+      | Ok (job_id, disposition, r) ->
+          Format.eprintf "job #%d %s@." job_id
+            (Protocol.disposition_to_string disposition);
+          print_string r.report
+      | Error e -> die "%s" e
+    else
+      match Client.rpc addr (Protocol.Submit_flow submission) with
+      | Protocol.Submitted { job_id; disposition } ->
+          Format.printf "submitted job #%d (%s)@." job_id
+            (Protocol.disposition_to_string disposition)
+      | Protocol.Error e -> die "%s" (Protocol.error_message e)
+      | _ -> die "unexpected response"
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a flow job to the daemon.")
+    Term.(
+      const run $ socket_arg $ bench_opt $ file $ uninformed $ strategy
+      $ budget $ x_arg $ wait)
+
+let status_cmd =
+  let job_arg =
+    Arg.(
+      value
+      & pos 0 (some int) None
+      & info [] ~docv:"JOB_ID" ~doc:"Job to query (omit to list all jobs).")
+  in
+  let run socket job_id =
+    protect @@ fun () ->
+    let addr = addr_of socket in
+    match job_id with
+    | Some id -> (
+        match Client.rpc addr (Protocol.Job_status id) with
+        | Protocol.Status j -> pp_job_line j
+        | Protocol.Error e -> die "%s" (Protocol.error_message e)
+        | _ -> die "unexpected response")
+    | None -> (
+        match Client.rpc addr Protocol.List_jobs with
+        | Protocol.Jobs js ->
+            if js = [] then Format.printf "no jobs@."
+            else List.iter pp_job_line js
+        | Protocol.Error e -> die "%s" (Protocol.error_message e)
+        | _ -> die "unexpected response")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show one job's state, or list all jobs.")
+    Term.(const run $ socket_arg $ job_arg)
+
+let fetch_cmd =
+  let job_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"JOB_ID" ~doc:"Job id.")
+  in
+  let wait =
+    Arg.(value & flag & info [ "wait" ] ~doc:"Poll until the job finishes.")
+  in
+  let run socket id wait =
+    protect @@ fun () ->
+    let addr = addr_of socket in
+    if wait then
+      match Client.wait_result addr id with
+      | Ok (_, r) -> print_string r.report
+      | Error e -> die "%s" e
+    else
+      match Client.rpc addr (Protocol.Fetch_result id) with
+      | Protocol.Result (_, r) -> print_string r.report
+      | Protocol.Status j ->
+          pp_job_line j;
+          exit 3 (* not done yet: distinct from hard failures *)
+      | Protocol.Error e -> die "%s" (Protocol.error_message e)
+      | _ -> die "unexpected response"
+  in
+  Cmd.v
+    (Cmd.info "fetch" ~doc:"Print a finished job's report.")
+    Term.(const run $ socket_arg $ job_arg $ wait)
+
+let svc_metrics_cmd =
+  let run socket =
+    protect @@ fun () ->
+    match Client.rpc (addr_of socket) Protocol.Metrics with
+    | Protocol.Metrics_data m -> print_string (Json.to_string_pretty m)
+    | Protocol.Error e -> die "%s" (Protocol.error_message e)
+    | _ -> die "unexpected response"
+  in
+  Cmd.v
+    (Cmd.info "svc-metrics" ~doc:"Print the daemon's metrics as JSON.")
+    Term.(const run $ socket_arg)
+
+let svc_shutdown_cmd =
+  let run socket =
+    protect @@ fun () ->
+    match Client.rpc (addr_of socket) Protocol.Shutdown with
+    | Protocol.Shutting_down -> Format.printf "daemon shutting down@."
+    | Protocol.Error e -> die "%s" (Protocol.error_message e)
+    | _ -> die "unexpected response"
+  in
+  Cmd.v
+    (Cmd.info "svc-shutdown" ~doc:"Drain the job queue and stop the daemon.")
+    Term.(const run $ socket_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let info = Cmd.info "psaflow" ~doc:"Auto-generating diverse heterogeneous designs." in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; list_cmd; analyze_cmd; export_cmd; debug_cmd_t; flow_cmd ]))
+          [
+            run_cmd;
+            list_cmd;
+            analyze_cmd;
+            export_cmd;
+            debug_cmd_t;
+            flow_cmd;
+            report_cmd;
+            serve_cmd;
+            submit_cmd;
+            status_cmd;
+            fetch_cmd;
+            svc_metrics_cmd;
+            svc_shutdown_cmd;
+          ]))

@@ -1,0 +1,244 @@
+(** [psaflow report]: the measured evaluation data of the paper's
+    Fig. 5 (hotspot speedups), Table I (added LOC) and Fig. 6 (relative
+    platform cost), as a text report (default) or machine-readable JSON
+    ([--json], encoded with {!Flow_service.Json}).
+
+    The paper-vs-measured side-by-side comparison lives in
+    [bench/main.exe]; this command reports what {e this} toolchain
+    measures, in a form other tools can consume. *)
+
+module Json = Flow_service.Json
+
+type collected = {
+  app : Benchmarks.Bench_app.t;
+  reference : Minic.Ast.program;
+  results : Devices.Simulate.result list;
+  decision : Psa.Strategy.explanation;
+}
+
+let design_names =
+  [
+    "omp_epyc7543";
+    "hip_gtx1080ti";
+    "hip_rtx2080ti";
+    "oneapi_arria10";
+    "oneapi_stratix10";
+  ]
+
+let collect_one (app : Benchmarks.Bench_app.t) : collected =
+  let ctx = Benchmarks.Bench_app.context app in
+  let outcome = Psa.Std_flow.run_uninformed ctx in
+  let c0 =
+    match outcome.contexts with
+    | c :: _ -> c
+    | [] -> failwith "flow produced no context"
+  in
+  {
+    app;
+    reference = ctx.Psa.Context.reference;
+    results = outcome.results;
+    decision = Psa.Strategy.fig3_explain c0;
+  }
+
+let collect () = Dse.Pool.map collect_one Benchmarks.Registry.all
+
+let find_result (c : collected) name =
+  List.find_opt
+    (fun (r : Devices.Simulate.result) -> r.design.name = name)
+    c.results
+
+let speedup_of c name =
+  match find_result c name with
+  | Some r when r.feasible -> Some r.speedup
+  | _ -> None
+
+(** The informed Auto-Selected bar: fastest design of the Fig. 3
+    decision's target family. *)
+let auto_selected (c : collected) =
+  let target =
+    match c.decision.decision with
+    | Psa.Strategy.Cpu_path -> Some Codegen.Design.Cpu_openmp
+    | Psa.Strategy.Gpu_path -> Some Codegen.Design.Gpu_hip
+    | Psa.Strategy.Fpga_path -> Some Codegen.Design.Fpga_oneapi
+    | Psa.Strategy.No_offload _ -> None
+  in
+  Option.bind target (fun t ->
+      Psa.Report.best
+        (List.filter
+           (fun (r : Devices.Simulate.result) -> r.design.target = t)
+           c.results))
+
+let loc_delta c name =
+  match find_result c name with
+  | Some r when r.design.synthesizable ->
+      Some (Codegen.Design.loc_delta_percent ~reference:c.reference r.design)
+  | _ -> None
+
+let fig6_apps = [ "adpredictor"; "bezier"; "kmeans" ]
+let fig6_ratios = [ 0.25; 1.0 /. 3.0; 0.5; 1.0; 2.0; 3.0; 4.0 ]
+
+let seconds_of c name =
+  match find_result c name with
+  | Some r when r.feasible -> Some r.seconds
+  | _ -> None
+
+(** FPGA-vs-GPU platform seconds for the Fig. 6 apps. *)
+let fig6_times data =
+  List.filter_map
+    (fun id ->
+      List.find_opt (fun c -> c.app.Benchmarks.Bench_app.id = id) data
+      |> Option.map (fun c ->
+             ( id,
+               seconds_of c "oneapi_stratix10",
+               seconds_of c "hip_rtx2080ti" )))
+    fig6_apps
+
+(* ------------------------------------------------------------------ *)
+(* Text output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let opt_x = function Some v -> Printf.sprintf "%.1f" v | None -> "n/a"
+
+let print_text data =
+  print_endline "== Fig. 5: hotspot speedups vs single-thread CPU (measured) ==";
+  Printf.printf "%-13s %10s %10s %12s %12s %12s %12s\n" "benchmark" "Auto"
+    "OMP" "HIP 1080Ti" "HIP 2080Ti" "oneAPI A10" "oneAPI S10";
+  List.iter
+    (fun c ->
+      let auto =
+        Option.map (fun (r : Devices.Simulate.result) -> r.speedup)
+          (auto_selected c)
+      in
+      Printf.printf "%-13s %10s" c.app.id (opt_x auto);
+      List.iter
+        (fun n -> Printf.printf " %*s" (if n = "omp_epyc7543" then 10 else 12)
+            (opt_x (speedup_of c n)))
+        design_names;
+      print_newline ())
+    data;
+  print_endline "";
+  print_endline "== Table I: added LOC per design, % of reference (measured) ==";
+  Printf.printf "%-13s %6s %8s %10s %10s %12s %12s\n" "benchmark" "ref" "OMP"
+    "HIP 1080" "HIP 2080" "oneAPI A10" "oneAPI S10";
+  List.iter
+    (fun c ->
+      Printf.printf "%-13s %6d" c.app.id
+        (Minic.Loc_count.count_program c.reference);
+      List.iteri
+        (fun i n ->
+          let w = [| 8; 10; 10; 12; 12 |].(i) in
+          Printf.printf " %*s" w
+            (match loc_delta c n with
+            | Some v -> Printf.sprintf "+%.0f%%" v
+            | None -> "n/a"))
+        design_names;
+      print_newline ())
+    data;
+  print_endline "";
+  print_endline
+    "== Fig. 6: relative cost, Stratix10 CPU+FPGA vs 2080 Ti CPU+GPU ==";
+  Printf.printf "%-13s" "FPGA$/GPU$:";
+  List.iter (fun r -> Printf.printf "%9.2f" r) fig6_ratios;
+  Printf.printf "%12s\n" "crossover";
+  List.iter
+    (fun (id, t_f, t_g) ->
+      match (t_f, t_g) with
+      | Some t_f, Some t_g ->
+          Printf.printf "%-13s" id;
+          List.iter
+            (fun pr ->
+              Printf.printf "%9.2f"
+                (Psa.Cost.relative_cost ~price_ratio:pr ~seconds_a:t_f
+                   ~seconds_b:t_g))
+            fig6_ratios;
+          Printf.printf "%12.2f\n"
+            (Psa.Cost.breakeven_ratio ~seconds_a:t_f ~seconds_b:t_g)
+      | _ -> Printf.printf "%-13s (FPGA design not available)\n" id)
+    (fig6_times data)
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let opt_float = function Some v -> Json.Float v | None -> Json.Null
+
+let json_of_data data : Json.t =
+  let fig5 =
+    List.map
+      (fun c ->
+        Json.Obj
+          [
+            ("benchmark", Json.String c.app.Benchmarks.Bench_app.id);
+            ( "decision",
+              Json.String (Psa.Strategy.decision_to_string c.decision.decision)
+            );
+            ( "auto",
+              opt_float
+                (Option.map
+                   (fun (r : Devices.Simulate.result) -> r.speedup)
+                   (auto_selected c)) );
+            ( "speedups",
+              Json.Obj
+                (List.map (fun n -> (n, opt_float (speedup_of c n))) design_names)
+            );
+          ])
+      data
+  in
+  let table1 =
+    List.map
+      (fun c ->
+        Json.Obj
+          [
+            ("benchmark", Json.String c.app.Benchmarks.Bench_app.id);
+            ( "reference_loc",
+              Json.Int (Minic.Loc_count.count_program c.reference) );
+            ( "added_loc_percent",
+              Json.Obj
+                (List.map (fun n -> (n, opt_float (loc_delta c n))) design_names)
+            );
+          ])
+      data
+  in
+  let fig6 =
+    List.filter_map
+      (fun (id, t_f, t_g) ->
+        match (t_f, t_g) with
+        | Some t_f, Some t_g ->
+            Some
+              (Json.Obj
+                 [
+                   ("benchmark", Json.String id);
+                   ("fpga_seconds", Json.Float t_f);
+                   ("gpu_seconds", Json.Float t_g);
+                   ( "relative_cost",
+                     Json.List
+                       (List.map
+                          (fun pr ->
+                            Json.Obj
+                              [
+                                ("price_ratio", Json.Float pr);
+                                ( "cost_ratio",
+                                  Json.Float
+                                    (Psa.Cost.relative_cost ~price_ratio:pr
+                                       ~seconds_a:t_f ~seconds_b:t_g) );
+                              ])
+                          fig6_ratios) );
+                   ( "crossover",
+                     Json.Float
+                       (Psa.Cost.breakeven_ratio ~seconds_a:t_f ~seconds_b:t_g)
+                   );
+                 ])
+        | _ -> None)
+      (fig6_times data)
+  in
+  Json.Obj
+    [
+      ("fig5", Json.List fig5);
+      ("table1", Json.List table1);
+      ("fig6", Json.List fig6);
+    ]
+
+let run ~json () =
+  let data = collect () in
+  if json then print_string (Json.to_string_pretty (json_of_data data))
+  else print_text data

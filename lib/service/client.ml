@@ -1,0 +1,76 @@
+(** Blocking client for the flow daemon: connect, exchange one frame per
+    request, poll jobs to completion.  Used by the [psaflow] service
+    subcommands and the end-to-end tests. *)
+
+type conn = { fd : Unix.file_descr }
+
+exception Client_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
+
+let connect (addr : Protocol.addr) : conn =
+  let domain =
+    match addr with
+    | Protocol.Unix_path _ -> Unix.PF_UNIX
+    | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Protocol.sockaddr_of_addr addr)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect to %s: %s"
+       (Protocol.addr_to_string addr)
+       (Unix.error_message e));
+  { fd }
+
+let close (c : conn) = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let with_conn addr f =
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+(** One request/response exchange on an open connection. *)
+let request (c : conn) (req : Protocol.request) : Protocol.response =
+  Protocol.write_request c.fd req;
+  match Protocol.read_response c.fd with
+  | None -> fail "server closed the connection"
+  | Some (Error e) -> fail "cannot decode response: %s" (Protocol.error_message e)
+  | Some (Ok resp) -> resp
+
+(** One-shot exchange on a fresh connection. *)
+let rpc addr req = with_conn addr (fun c -> request c req)
+
+(** Poll [job_id] until it is done (returning its result), failed, or
+    [timeout_s] elapses. *)
+let wait_result ?(poll_interval_s = 0.05) ?(timeout_s = 300.0) addr job_id :
+    (Protocol.job_view * Protocol.job_result, string) result =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    match rpc addr (Protocol.Fetch_result job_id) with
+    | Protocol.Result (view, r) -> Ok (view, r)
+    | Protocol.Status { state = Protocol.Failed msg; _ } ->
+        Error (Printf.sprintf "job #%d failed: %s" job_id msg)
+    | Protocol.Status _ ->
+        if Unix.gettimeofday () > deadline then
+          Error (Printf.sprintf "timed out waiting for job #%d" job_id)
+        else (
+          Thread.delay poll_interval_s;
+          poll ())
+    | Protocol.Error e -> Error (Protocol.error_message e)
+    | _ -> Error "unexpected response to fetch_result"
+  in
+  poll ()
+
+(** Submit and block until the result is available (fresh execution or
+    store hit alike). *)
+let submit_and_wait ?poll_interval_s ?timeout_s addr submission :
+    ( int * [ `Fresh | `Coalesced | `Cached ] * Protocol.job_result,
+      string )
+    result =
+  match rpc addr (Protocol.Submit_flow submission) with
+  | Protocol.Submitted { job_id; disposition } -> (
+      match wait_result ?poll_interval_s ?timeout_s addr job_id with
+      | Ok (_, r) -> Ok (job_id, disposition, r)
+      | Error e -> Error e)
+  | Protocol.Error e -> Error (Protocol.error_message e)
+  | _ -> Error "unexpected response to submit_flow"

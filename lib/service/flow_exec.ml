@@ -1,0 +1,137 @@
+(** Bridge between the service protocol and the flow engine: resolves a
+    {!Protocol.submission} into a content-address, a display label and a
+    thunk running [Psa.Std_flow] — with MiniC/benchmark problems mapped
+    to typed protocol errors at submit time, before anything enqueues.
+
+    Also owns the canonical textual report renderer so the daemon's
+    [fetch_result] payload is byte-identical to what the [psaflow run]
+    CLI prints for the same flow. *)
+
+type resolved = {
+  key : string;  (** {!Store} content address of the execution *)
+  label : string;  (** benchmark id, or ["inline"] *)
+  run : unit -> Protocol.job_result;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering (shared with bin/psaflow.ml)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Exactly the bytes [psaflow run] prints after its header line. *)
+let render_report (results : Devices.Simulate.result list) : string =
+  let table = Format.asprintf "@.%a" Psa.Report.pp_results results in
+  let best =
+    match Psa.Report.best results with
+    | Some b -> Format.asprintf "@.best: %s (%.1fx)@." b.design.name b.speedup
+    | None -> Format.asprintf "@.no feasible design@."
+  in
+  table ^ best
+
+let result_json (r : Devices.Simulate.result) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String r.design.name);
+      ( "device",
+        Json.String (Devices.Spec.name (Devices.Spec.find r.design.device_id)) );
+      ("target", Json.String (Codegen.Design.target_framework r.design.target));
+      ("seconds", Json.Float r.seconds);
+      ("speedup", Json.Float r.speedup);
+      ("feasible", Json.Bool r.feasible);
+      ("synthesizable", Json.Bool r.design.synthesizable);
+    ]
+
+let outcome_json ~label (s : Protocol.submission)
+    (outcome : Psa.Std_flow.outcome) : Json.t =
+  Json.Obj
+    [
+      ("label", Json.String label);
+      ("mode", Json.String (Protocol.mode_to_string s.mode));
+      ("strategy", Json.String (Protocol.strategy_to_string s.strategy));
+      ("designs", Json.List (List.map result_json outcome.results));
+      ( "best",
+        match Psa.Report.best outcome.results with
+        | Some b -> Json.String b.design.name
+        | None -> Json.Null );
+      ("log", Json.List (List.map (fun l -> Json.String l) outcome.log));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let objective_of_strategy = function
+  | Protocol.Model_perf -> Some Psa.Strategy.Performance
+  | Protocol.Model_cost -> Some Psa.Strategy.Monetary_cost
+  | Protocol.Model_energy -> Some Psa.Strategy.Energy
+  | Protocol.Fig3 -> None
+
+let run_outcome (s : Protocol.submission) (ctx : Psa.Context.t) =
+  match (s.mode, objective_of_strategy s.strategy) with
+  | Protocol.Uninformed, _ ->
+      (* uninformed mode takes every path; the strategy never fires *)
+      Psa.Std_flow.run_uninformed ~x_threshold:s.x_threshold ctx
+  | Protocol.Informed, None ->
+      Psa.Std_flow.run_informed ~x_threshold:s.x_threshold ?budget:s.budget ctx
+  | Protocol.Informed, Some objective ->
+      Psa.Std_flow.run_flow
+        (Psa.Std_flow.flow ~select_a:(Psa.Strategy.model_based ~objective) ())
+        { ctx with x_threshold = s.x_threshold; budget = s.budget }
+
+(** Resolve a submission.  Benchmark lookup and inline MiniC
+    parsing/typechecking happen here so the errors surface immediately
+    as typed responses; the returned [run] thunk only re-executes work
+    already known to succeed up to flow level. *)
+let resolve (s : Protocol.submission) : (resolved, Protocol.error_kind) result =
+  let make ~label ~source ~workload (mk_ctx : unit -> Psa.Context.t) =
+    let key =
+      Store.key ~source
+        ~mode:(Protocol.mode_to_string s.mode)
+        ~strategy:(Protocol.strategy_to_string s.strategy)
+        ~x_threshold:s.x_threshold ~budget:s.budget ~workload
+    in
+    let run () =
+      let outcome = run_outcome s (mk_ctx ()) in
+      {
+        Protocol.report = render_report outcome.results;
+        data = outcome_json ~label s outcome;
+      }
+    in
+    { key; label; run }
+  in
+  match s.source with
+  | Protocol.Bench id -> (
+      match Benchmarks.Registry.find id with
+      | app ->
+          Ok
+            (make ~label:id
+               ~source:(app.source ~n:app.profile_n)
+               ~workload:
+                 (Printf.sprintf "bench;profile=%d;secondary=%d;eval=%d"
+                    app.profile_n app.secondary_n app.eval_n)
+               (fun () ->
+                 Benchmarks.Bench_app.context ~x_threshold:s.x_threshold
+                   ?budget:s.budget app))
+      | exception Invalid_argument _ -> Error (Protocol.Unknown_benchmark id))
+  | Protocol.Inline src -> (
+      match Minic.Parser.parse_program src with
+      | exception Minic.Lexer.Lex_error (m, loc) ->
+          Error
+            (Protocol.Minic_parse_error
+               (Format.asprintf "%s at %a" m Minic.Loc.pp_short loc))
+      | exception Minic.Parser.Parse_error (m, loc) ->
+          Error
+            (Protocol.Minic_parse_error
+               (Format.asprintf "%s at %a" m Minic.Loc.pp_short loc))
+      | program -> (
+          match Minic.Typecheck.check_program program with
+          | exception Minic.Typecheck.Type_error (m, loc) ->
+              Error
+                (Protocol.Minic_type_error
+                   (Format.asprintf "%s at %a" m Minic.Loc.pp_short loc))
+          | () ->
+              Ok
+                (make ~label:"inline" ~source:src ~workload:"inline"
+                   (fun () ->
+                     Psa.Context.make ~benchmark:"inline"
+                       ~x_threshold:s.x_threshold ?budget:s.budget
+                       (Minic.Parser.parse_program src)))))

@@ -1,0 +1,54 @@
+(** A small, self-contained JSON library (value type, encoder, pretty
+    printer, recursive-descent parser).  The repository deliberately
+    carries its own: the service protocol, the CLI's [--json] reports and
+    the perf benchmark's [BENCH_psaflow.json] all need machine-readable
+    output, and no JSON package is among the baked-in dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion-ordered; keys should be unique *)
+
+exception Parse_error of string * int
+(** Message and 0-based byte offset of a malformed document. *)
+
+val to_string : t -> string
+(** Compact single-line encoding.  Floats are printed with the shortest
+    representation that round-trips, always containing ['.'] or ['e'] so
+    they re-parse as [Float]; non-finite floats raise [Invalid_argument]
+    (JSON has no representation for them). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented multi-line encoding, trailing newline included. *)
+
+val parse : string -> t
+(** Parse one JSON document (surrounding whitespace allowed).
+    Numbers without ['.'], ['e'] or ['E'] that fit in [int] become
+    [Int]; everything else numeric becomes [Float].
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val parse_result : string -> (t, string) result
+(** [parse] with the error rendered as ["offset N: message"]. *)
+
+(** {1 Accessors} — total lookups used when decoding protocol messages. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for missing keys or non-objects. *)
+
+val to_int_opt : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float_opt : t -> float option
+(** [Float f] and [Int n] (as [float_of_int n]). *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option
+
+val equal : t -> t -> bool
+(** Structural equality; [Float] compared by bit pattern so that
+    round-trip properties hold for [-0.] too. *)

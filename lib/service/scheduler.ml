@@ -1,0 +1,243 @@
+(** Job scheduler: a bounded FIFO queue drained by N worker threads.
+
+    Jobs move through queued -> running -> done/failed; every transition
+    is timestamped so status responses report wall-clock.  Submissions
+    are deduplicated through the content-addressed {!Store}:
+
+    - an identical job already queued or running is {e coalesced} (the
+      caller gets the in-flight job's id — one execution, many waiters);
+    - an identical finished result still in the store is a {e cached}
+      submission (a fresh job id materialises instantly in the [Done]
+      state, no execution);
+    - otherwise the job is {e fresh} and enqueued, unless the queue is at
+      capacity, which is reported as backpressure for the caller to turn
+      into a [Queue_full] protocol error.
+
+    [shutdown] drains gracefully: no new submissions are accepted, the
+    queue is run to empty, workers are joined.
+
+    Worker count defaults to [PSAFLOW_SERVICE_WORKERS] if set.  Workers
+    are systhreads — request handling and job execution interleave, while
+    CPU parallelism inside one flow still comes from the domain pool the
+    engine already uses ([Dse.Pool]). *)
+
+type job = {
+  id : int;
+  key : string;  (** {!Store} content address *)
+  label : string;
+  mode : Protocol.mode;
+  strategy : Protocol.strategy;
+  cached : bool;
+  run : unit -> Protocol.job_result;
+  mutable state : Protocol.job_state;
+  mutable started_at : float option;
+  mutable finished_at : float option;
+  submitted_at : float;
+  mutable result : Protocol.job_result option;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (** signalled when the queue gains work or stops *)
+  idle : Condition.t;  (** signalled when a worker finishes a job *)
+  queue : job Queue.t;
+  queue_capacity : int;
+  jobs : (int, job) Hashtbl.t;
+  active_by_key : (string, job) Hashtbl.t;  (** queued/running only *)
+  store : Protocol.job_result Store.t;
+  metrics : Metrics.t;
+  mutable next_id : int;
+  mutable accepting : bool;
+  mutable stopping : bool;
+  mutable running : int;
+  mutable workers : Thread.t list;
+}
+
+let default_workers () =
+  match Option.bind (Sys.getenv_opt "PSAFLOW_SERVICE_WORKERS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 2
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let now () = Unix.gettimeofday ()
+
+let set_queue_gauge_locked t =
+  Metrics.set_gauge t.metrics "queue_depth" (float_of_int (Queue.length t.queue))
+
+let finish_locked t job outcome =
+  job.finished_at <- Some (now ());
+  (match outcome with
+  | Ok r ->
+      job.state <- Protocol.Done;
+      job.result <- Some r;
+      Store.add t.store job.key r;
+      Metrics.incr t.metrics "jobs_completed";
+      (match (job.started_at, job.finished_at) with
+      | Some a, Some b -> Metrics.observe t.metrics "flow_wall_s" (b -. a)
+      | _ -> ())
+  | Error msg ->
+      job.state <- Protocol.Failed msg;
+      Metrics.incr t.metrics "jobs_failed");
+  Hashtbl.remove t.active_by_key job.key;
+  t.running <- t.running - 1;
+  Condition.broadcast t.idle
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec await () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stopping then None
+      else (
+        Condition.wait t.work t.lock;
+        await ())
+    in
+    match await () with
+    | None ->
+        Mutex.unlock t.lock;
+        ()
+    | Some job ->
+        job.state <- Protocol.Running;
+        job.started_at <- Some (now ());
+        t.running <- t.running + 1;
+        set_queue_gauge_locked t;
+        Mutex.unlock t.lock;
+        let outcome =
+          match job.run () with
+          | r -> Ok r
+          | exception e -> Error (Printexc.to_string e)
+        in
+        with_lock t (fun () -> finish_locked t job outcome);
+        next ()
+  in
+  next ()
+
+let create ?(workers = default_workers ()) ?(queue_capacity = 64)
+    ?(store_capacity = 256) ~metrics () =
+  if workers <= 0 then invalid_arg "Scheduler.create: workers must be positive";
+  if queue_capacity <= 0 then
+    invalid_arg "Scheduler.create: queue_capacity must be positive";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      queue_capacity;
+      jobs = Hashtbl.create 64;
+      active_by_key = Hashtbl.create 64;
+      store = Store.create ~capacity:store_capacity;
+      metrics;
+      next_id = 0;
+      accepting = true;
+      stopping = false;
+      running = 0;
+      workers = [];
+    }
+  in
+  Metrics.set_gauge metrics "queue_depth" 0.0;
+  t.workers <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+(** Submit one resolved job.  [run] must be self-contained (it executes
+    on a worker thread).  Returns the job id and how the submission was
+    disposed of; [Error] is queue-full backpressure or a draining
+    scheduler. *)
+let submit t ~key ~label ~mode ~strategy run :
+    (int * [ `Fresh | `Coalesced | `Cached ], [ `Queue_full | `Shutting_down ])
+    result =
+  with_lock t (fun () ->
+      if not t.accepting then Error `Shutting_down
+      else
+        match Hashtbl.find_opt t.active_by_key key with
+        | Some live -> Ok (live.id, `Coalesced)
+        | None -> (
+            let fresh ~cached ~result ~state =
+              t.next_id <- t.next_id + 1;
+              {
+                id = t.next_id;
+                key;
+                label;
+                mode;
+                strategy;
+                cached;
+                run;
+                state;
+                started_at = None;
+                finished_at = None;
+                submitted_at = now ();
+                result;
+              }
+            in
+            match Store.find t.store key with
+            | Some r ->
+                let job =
+                  fresh ~cached:true ~result:(Some r) ~state:Protocol.Done
+                in
+                Hashtbl.add t.jobs job.id job;
+                Ok (job.id, `Cached)
+            | None ->
+                if Queue.length t.queue >= t.queue_capacity then
+                  Error `Queue_full
+                else begin
+                  let job =
+                    fresh ~cached:false ~result:None ~state:Protocol.Queued
+                  in
+                  Hashtbl.add t.jobs job.id job;
+                  Hashtbl.add t.active_by_key key job;
+                  Queue.push job t.queue;
+                  set_queue_gauge_locked t;
+                  Condition.signal t.work;
+                  Ok (job.id, `Fresh)
+                end))
+
+let view_locked (j : job) : Protocol.job_view =
+  let wall_s =
+    match (j.started_at, j.finished_at) with
+    | Some a, Some b -> Some (b -. a)
+    | Some a, None -> Some (now () -. a)
+    | None, _ -> None
+  in
+  {
+    Protocol.job_id = j.id;
+    label = j.label;
+    mode = j.mode;
+    strategy = j.strategy;
+    state = j.state;
+    cached = j.cached;
+    wall_s;
+  }
+
+let status t id : Protocol.job_view option =
+  with_lock t (fun () ->
+      Option.map view_locked (Hashtbl.find_opt t.jobs id))
+
+let result t id : (Protocol.job_view * Protocol.job_result option) option =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> None
+      | Some j -> Some (view_locked j, j.result))
+
+(** All jobs, most recent first. *)
+let list t : Protocol.job_view list =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
+      |> List.sort (fun (a : job) b -> compare b.id a.id)
+      |> List.map view_locked)
+
+let store_stats t = Store.stats t.store
+
+(** Stop accepting submissions, run the queue dry, join the workers. *)
+let shutdown t =
+  Mutex.lock t.lock;
+  t.accepting <- false;
+  while not (Queue.is_empty t.queue && t.running = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Thread.join t.workers

@@ -1,0 +1,182 @@
+(** The flow daemon: an accept loop over a Unix-domain or TCP socket,
+    one handler thread per connection, requests dispatched against the
+    shared {!Scheduler} and {!Metrics} registry.
+
+    A connection may carry any number of length-prefixed request frames;
+    each gets exactly one response frame.  Malformed frames and unknown
+    versions are answered with typed errors rather than dropped, so a
+    misbehaving client cannot distinguish "daemon died" from "daemon
+    said no".
+
+    [shutdown] is cooperative: the handler answers [Shutting_down],
+    then the listener closes and the scheduler drains (queued jobs
+    complete) before [serve] returns. *)
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  store_capacity : int;
+}
+
+let default_config () =
+  {
+    workers = Scheduler.default_workers ();
+    queue_capacity = 64;
+    store_capacity = 256;
+  }
+
+type t = {
+  sched : Scheduler.t;
+  metrics : Metrics.t;
+  listener : Unix.file_descr;
+  stop_wr : Unix.file_descr;  (** self-pipe: one byte = stop accepting *)
+  mutable stopping : bool;
+  stop_lock : Mutex.t;
+}
+
+let request_counter = function
+  | Protocol.Submit_flow _ -> "requests_submit_flow"
+  | Protocol.Job_status _ -> "requests_job_status"
+  | Protocol.Fetch_result _ -> "requests_fetch_result"
+  | Protocol.List_jobs -> "requests_list_jobs"
+  | Protocol.Metrics -> "requests_metrics"
+  | Protocol.Shutdown -> "requests_shutdown"
+
+let metrics_json t : Json.t =
+  let hits, misses = Scheduler.store_stats t.sched in
+  Metrics.to_json
+    ~extra:[ ("store_hits", Json.Int hits); ("store_misses", Json.Int misses) ]
+    t.metrics
+
+(* Closing the listener from a handler thread does not reliably wake a
+   blocked [accept] on Linux; the accept loop therefore selects on a
+   self-pipe alongside the listener, and shutdown writes one byte. *)
+let begin_shutdown t =
+  Mutex.lock t.stop_lock;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.stop_lock;
+  if first then
+    try ignore (Unix.write t.stop_wr (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let handle_request t (req : Protocol.request) : Protocol.response =
+  Metrics.incr t.metrics "requests_total";
+  Metrics.incr t.metrics (request_counter req);
+  match req with
+  | Protocol.Submit_flow s -> (
+      match Flow_exec.resolve s with
+      | Error e ->
+          Metrics.incr t.metrics "requests_rejected";
+          Protocol.Error e
+      | Ok { key; label; run } -> (
+          match
+            Scheduler.submit t.sched ~key ~label ~mode:s.mode
+              ~strategy:s.strategy run
+          with
+          | Ok (job_id, disposition) -> Protocol.Submitted { job_id; disposition }
+          | Error `Queue_full ->
+              Metrics.incr t.metrics "requests_rejected";
+              Protocol.Error Protocol.Queue_full
+          | Error `Shutting_down ->
+              Metrics.incr t.metrics "requests_rejected";
+              Protocol.Error (Protocol.Server_error "shutting down")))
+  | Protocol.Job_status id -> (
+      match Scheduler.status t.sched id with
+      | Some view -> Protocol.Status view
+      | None -> Protocol.Error (Protocol.Unknown_job id))
+  | Protocol.Fetch_result id -> (
+      match Scheduler.result t.sched id with
+      | None -> Protocol.Error (Protocol.Unknown_job id)
+      | Some (view, Some r) when view.state = Protocol.Done ->
+          Protocol.Result (view, r)
+      | Some (view, _) ->
+          (* not finished (or failed): report state, client decides *)
+          Protocol.Status view)
+  | Protocol.List_jobs -> Protocol.Jobs (Scheduler.list t.sched)
+  | Protocol.Metrics -> Protocol.Metrics_data (metrics_json t)
+  | Protocol.Shutdown -> Protocol.Shutting_down
+
+let handle_connection t fd =
+  let rec loop () =
+    match Protocol.read_request fd with
+    | None -> ()
+    | Some (Error e) ->
+        Metrics.incr t.metrics "requests_total";
+        Metrics.incr t.metrics "requests_malformed";
+        Protocol.write_response fd (Protocol.Error e);
+        loop ()
+    | Some (Ok req) ->
+        let resp = handle_request t req in
+        Protocol.write_response fd resp;
+        if req = Protocol.Shutdown then begin_shutdown t else loop ()
+  in
+  (try loop () with
+  | Protocol.Frame_error fe -> (
+      Metrics.incr t.metrics "requests_malformed";
+      try
+        Protocol.write_response fd
+          (Protocol.Error
+             (Protocol.Bad_request (Protocol.frame_error_message fe)))
+      with _ -> ())
+  | Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(** Bind and serve until a [shutdown] request arrives.  Blocks.  The
+    Unix socket path is unlinked before bind and after drain. *)
+let serve ?(config = default_config ()) (addr : Protocol.addr) =
+  (* a client disconnecting mid-response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (match addr with
+  | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ());
+  let domain =
+    match addr with
+    | Protocol.Unix_path _ -> Unix.PF_UNIX
+    | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Protocol.Tcp _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true
+  | Protocol.Unix_path _ -> ());
+  Unix.bind listener (Protocol.sockaddr_of_addr addr);
+  Unix.listen listener 16;
+  let metrics = Metrics.create () in
+  let sched =
+    Scheduler.create ~workers:config.workers
+      ~queue_capacity:config.queue_capacity
+      ~store_capacity:config.store_capacity ~metrics ()
+  in
+  let stop_rd, stop_wr = Unix.pipe () in
+  let t =
+    {
+      sched;
+      metrics;
+      listener;
+      stop_wr;
+      stopping = false;
+      stop_lock = Mutex.create ();
+    }
+  in
+  let rec accept_loop () =
+    match Unix.select [ listener; stop_rd ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | readable, _, _ ->
+        if List.mem stop_rd readable then ()
+        else begin
+          (match Unix.accept listener with
+          | fd, _ -> ignore (Thread.create (handle_connection t) fd)
+          | exception Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+  in
+  accept_loop ();
+  begin_shutdown t;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.close stop_rd with Unix.Unix_error _ -> ());
+  (try Unix.close stop_wr with Unix.Unix_error _ -> ());
+  Scheduler.shutdown t.sched;
+  match addr with
+  | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ()

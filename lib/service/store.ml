@@ -1,0 +1,104 @@
+(** Content-addressed result store.
+
+    Finished flow results are stored under a digest of everything that
+    determines them — the MiniC source text, the workload sizes, the
+    mode, the PSA strategy and its parameters — the same keying
+    discipline as the interpreter's [Profile_cache] (which keys on
+    observable program content, never on names).  Flow execution is
+    deterministic, so two submissions with equal keys have equal
+    results: duplicates are deduped into one execution and repeat
+    requests are O(1) hits here.
+
+    Capacity is bounded with LRU eviction (lookups refresh recency).
+    The table is guarded by a mutex so scheduler workers and server
+    connection threads can share it. *)
+
+type 'a t = {
+  capacity : int;
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;  (** recency clock: larger = more recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+and 'a entry = { value : 'a; mutable last_use : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Store.create: capacity must be positive";
+  {
+    capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(** Digest of the determining inputs of one flow execution.  [source] is
+    the full MiniC text (content, not benchmark name); [workload]
+    canonicalises the profile/secondary/eval sizes. *)
+let key ~source ~mode ~strategy ~x_threshold ~budget ~workload =
+  let buf = Buffer.create (String.length source + 64) in
+  Buffer.add_string buf source;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf mode;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf strategy;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf (Printf.sprintf "%.17g" x_threshold);
+  Buffer.add_char buf '\000';
+  (match budget with
+  | Some b -> Buffer.add_string buf (Printf.sprintf "%.17g" b)
+  | None -> Buffer.add_string buf "-");
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf workload;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let find t k =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          touch t e;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t k = with_lock t (fun () -> Hashtbl.mem t.table k)
+
+(* Capacity is small (hundreds); a linear scan for the LRU victim keeps
+   the structure to one table instead of table + intrusive list. *)
+let evict_lru_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_use -> acc
+        | _ -> Some (k, e.last_use))
+      t.table None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let add t k v =
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt t.table k with
+      | Some _ -> Hashtbl.remove t.table k
+      | None -> ());
+      if Hashtbl.length t.table >= t.capacity then evict_lru_locked t;
+      t.tick <- t.tick + 1;
+      Hashtbl.add t.table k { value = v; last_use = t.tick })
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+(** Cumulative (hits, misses) of {!find} since creation. *)
+let stats t = with_lock t (fun () -> (t.hits, t.misses))

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo health check: full build, full test suite, perf smoke.
+# Repo health check: full build, full test suite, perf smoke, service smoke.
 # Run from anywhere; operates on the repo this script lives in.
 set -eu
 
@@ -13,5 +13,59 @@ dune runtest
 
 echo "== perf smoke (bench/main.exe perf --quick) =="
 dune exec bench/main.exe -- perf --quick
+
+echo "== service smoke (psaflow serve/submit/svc-metrics) =="
+PSAFLOW=_build/default/bin/psaflow.exe
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/psaflow-check-XXXXXX.sock")
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/psaflow-check-XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$TMP" "$SOCK"
+}
+trap cleanup EXIT INT TERM
+
+"$PSAFLOW" serve --socket "$SOCK" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon did not come up"; exit 1; }
+
+# a service result must be byte-identical to a direct CLI run
+"$PSAFLOW" run adpredictor | tail -n +2 >"$TMP/direct.txt"
+"$PSAFLOW" submit adpredictor --wait --socket "$SOCK" \
+  >"$TMP/svc.txt" 2>"$TMP/disp1.txt"
+diff "$TMP/direct.txt" "$TMP/svc.txt" \
+  || { echo "FAIL: service report diverges from direct run"; exit 1; }
+grep -q fresh "$TMP/disp1.txt" \
+  || { echo "FAIL: first submission not fresh"; exit 1; }
+
+# duplicate submission: served from the content-addressed store
+"$PSAFLOW" submit adpredictor --wait --socket "$SOCK" \
+  >"$TMP/svc2.txt" 2>"$TMP/disp2.txt"
+grep -q cached "$TMP/disp2.txt" \
+  || { echo "FAIL: duplicate submission not served from store"; exit 1; }
+diff "$TMP/direct.txt" "$TMP/svc2.txt" \
+  || { echo "FAIL: cached report diverges"; exit 1; }
+
+"$PSAFLOW" svc-metrics --socket "$SOCK" >"$TMP/metrics.json"
+grep -q jobs_completed "$TMP/metrics.json" \
+  || { echo "FAIL: svc-metrics missing jobs_completed"; exit 1; }
+
+# error paths must exit non-zero with a one-line diagnostic
+if "$PSAFLOW" run no-such-benchmark 2>/dev/null; then
+  echo "FAIL: unknown benchmark must exit non-zero"; exit 1
+fi
+printf 'int main( {\n' >"$TMP/bad.c"
+if "$PSAFLOW" submit --file "$TMP/bad.c" --socket "$SOCK" 2>/dev/null; then
+  echo "FAIL: MiniC parse error must exit non-zero"; exit 1
+fi
+
+"$PSAFLOW" svc-shutdown --socket "$SOCK"
+wait "$SERVE_PID"
+SERVE_PID=""
 
 echo "OK"

@@ -1,0 +1,649 @@
+(** Tests for the flow-as-a-service subsystem (lib/service): the JSON
+    library, the framed protocol, the content-addressed store, the
+    scheduler, and an end-to-end daemon run over a loopback socket
+    checked bit-identical against direct [Std_flow] execution. *)
+
+module Json = Flow_service.Json
+module Protocol = Flow_service.Protocol
+module Store = Flow_service.Store
+module Metrics = Flow_service.Metrics
+module Scheduler = Flow_service.Scheduler
+module Server = Flow_service.Server
+module Client = Flow_service.Client
+module Flow_exec = Flow_service.Flow_exec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Json: parsing units                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parse_basics () =
+  check_str "string escape" "a\"b\\c\nd"
+    (match Json.parse {|"a\"b\\c\nd"|} with
+    | Json.String s -> s
+    | _ -> "<not a string>");
+  check "int" true (Json.parse "42" = Json.Int 42);
+  check "negative int" true (Json.parse "-7" = Json.Int (-7));
+  check "float" true (Json.parse "1.5" = Json.Float 1.5);
+  check "exponent is float" true (Json.parse "1e3" = Json.Float 1000.0);
+  check "null" true (Json.parse "null" = Json.Null);
+  check "bools" true
+    (Json.parse "[true,false]" = Json.List [ Json.Bool true; Json.Bool false ]);
+  check "unicode escape" true (Json.parse {|"\u0041"|} = Json.String "A");
+  check "surrogate pair" true
+    (Json.parse {|"\ud83d\ude00"|} = Json.String "\xf0\x9f\x98\x80");
+  check "nested" true
+    (Json.parse {| {"a": [1, {"b": null}], "c": "x"} |}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Null) ] ]);
+          ("c", Json.String "x");
+        ]);
+  check "whitespace tolerated" true
+    (Json.parse " \n\t{ \"k\" : 1 } \r\n" = Json.Obj [ ("k", Json.Int 1) ])
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check "empty" true (fails "");
+  check "garbage" true (fails "wibble");
+  check "trailing garbage" true (fails "{} {}");
+  check "unterminated string" true (fails {|"abc|});
+  check "unterminated array" true (fails "[1, 2");
+  check "missing colon" true (fails {|{"a" 1}|});
+  check "bad literal" true (fails "trueish");
+  check "raw control char" true (fails "\"a\nb\"");
+  check "bad escape" true (fails {|"\q"|});
+  check "nan is not json" true (fails "nan")
+
+let test_json_encode () =
+  check_str "compact" {|{"a":[1,2.5,"x\n"],"b":null}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ( "a",
+              Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x\n" ] );
+            ("b", Json.Null);
+          ]));
+  check "float always refloats" true
+    (Json.parse (Json.to_string (Json.Float 1.0)) = Json.Float 1.0);
+  check "non-finite rejected" true
+    (match Json.to_string (Json.Float Float.nan) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- round-trip property ------------------------------------------- *)
+
+let gen_json =
+  let open QCheck.Gen in
+  let gen_float =
+    oneof
+      [
+        oneofl [ 0.0; -0.0; 1.0; -1.5; 3.14159265; 1e-9; 1.7e308; 5e-324 ];
+        map2
+          (fun a b -> float_of_int a /. float_of_int (abs b + 1))
+          (int_range (-1000000) 1000000)
+          (int_range 0 1000);
+      ]
+  in
+  (* arbitrary bytes: control chars must escape, high bytes pass through *)
+  let gen_string = string_size ~gen:char (int_bound 12) in
+  let key = string_size ~gen:printable (int_bound 6) in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Int n) int;
+        map (fun f -> Json.Float f) gen_float;
+        map (fun s -> Json.String s) gen_string;
+      ]
+  in
+  let rec value fuel =
+    if fuel = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          ( 1,
+            map (fun vs -> Json.List vs)
+              (list_size (int_bound 4) (value (fuel - 1))) );
+          ( 1,
+            map (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4) (pair key (value (fuel - 1)))) );
+        ]
+  in
+  value 3
+
+let arb_json = QCheck.make ~print:Json.to_string gen_json
+
+let json_roundtrip =
+  Helpers.qtest ~count:500 "parse (to_string v) = v" arb_json (fun v ->
+      Json.equal (Json.parse (Json.to_string v)) v)
+
+let json_roundtrip_pretty =
+  Helpers.qtest ~count:500 "parse (to_string_pretty v) = v" arb_json (fun v ->
+      Json.equal (Json.parse (Json.to_string_pretty v)) v)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: encode/decode round-trips                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_requests : Protocol.request list =
+  [
+    Protocol.Submit_flow
+      (Protocol.submission ~mode:Protocol.Informed ~strategy:Protocol.Fig3
+         (Protocol.Bench "nbody"));
+    Protocol.Submit_flow
+      (Protocol.submission ~mode:Protocol.Uninformed
+         ~strategy:Protocol.Model_cost ~x_threshold:4.5 ~budget:0.25
+         (Protocol.Inline "int main() { return 0; }"));
+    Protocol.Job_status 7;
+    Protocol.Fetch_result 3;
+    Protocol.List_jobs;
+    Protocol.Metrics;
+    Protocol.Shutdown;
+  ]
+
+let sample_view : Protocol.job_view =
+  {
+    Protocol.job_id = 9;
+    label = "nbody";
+    mode = Protocol.Informed;
+    strategy = Protocol.Model_energy;
+    state = Protocol.Done;
+    cached = true;
+    wall_s = Some 0.125;
+  }
+
+let sample_responses : Protocol.response list =
+  [
+    Protocol.Submitted { job_id = 1; disposition = `Fresh };
+    Protocol.Submitted { job_id = 2; disposition = `Coalesced };
+    Protocol.Submitted { job_id = 3; disposition = `Cached };
+    Protocol.Status sample_view;
+    Protocol.Status
+      { sample_view with state = Protocol.Failed "boom"; wall_s = None };
+    Protocol.Result
+      ( sample_view,
+        {
+          Protocol.report = "\ndesign table\nbest: x (2.0x)\n";
+          data = Json.Obj [ ("designs", Json.List []) ];
+        } );
+    Protocol.Jobs [ sample_view; { sample_view with job_id = 10 } ];
+    Protocol.Metrics_data (Json.Obj [ ("requests_total", Json.Int 4) ]);
+    Protocol.Shutting_down;
+    Protocol.Error (Protocol.Bad_request "nope");
+    Protocol.Error (Protocol.Bad_version 99);
+    Protocol.Error (Protocol.Unknown_benchmark "wat");
+    Protocol.Error (Protocol.Minic_parse_error "unexpected ')' at 3:1");
+    Protocol.Error (Protocol.Minic_type_error "int vs double at 1:4");
+    Protocol.Error Protocol.Queue_full;
+    Protocol.Error (Protocol.Unknown_job 12);
+    Protocol.Error (Protocol.Server_error "disk on fire");
+  ]
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun r ->
+      let j = Json.parse (Json.to_string (Protocol.request_to_json r)) in
+      check "request round-trips" true (Protocol.request_of_json j = Ok r))
+    sample_requests;
+  List.iter
+    (fun r ->
+      let j = Json.parse (Json.to_string (Protocol.response_to_json r)) in
+      check "response round-trips" true (Protocol.response_of_json j = Ok r))
+    sample_responses
+
+let test_protocol_versioning () =
+  let j = Json.Obj [ ("v", Json.Int 99); ("type", Json.String "metrics") ] in
+  check "future version refused" true
+    (Protocol.request_of_json j = Error (Protocol.Bad_version 99));
+  let j = Json.Obj [ ("type", Json.String "metrics") ] in
+  check "missing version refused" true
+    (match Protocol.request_of_json j with
+    | Error (Protocol.Bad_request _) -> true
+    | _ -> false);
+  check "unknown type refused" true
+    (match
+       Protocol.request_of_json
+         (Json.Obj [ ("v", Json.Int 1); ("type", Json.String "fry") ])
+     with
+    | Error (Protocol.Bad_request _) -> true
+    | _ -> false);
+  check "bench+source refused" true
+    (match
+       Protocol.request_of_json
+         (Json.Obj
+            [
+              ("v", Json.Int 1);
+              ("type", Json.String "submit_flow");
+              ("bench", Json.String "nbody");
+              ("source", Json.String "int main() { return 0; }");
+            ])
+     with
+    | Error (Protocol.Bad_request _) -> true
+    | _ -> false)
+
+(* --- framing ------------------------------------------------------- *)
+
+let test_framing_roundtrip () =
+  List.iter
+    (fun payload ->
+      let framed = Protocol.frame payload in
+      match Protocol.unframe framed with
+      | Some (got, consumed) ->
+          check_str "payload preserved" payload got;
+          check_int "whole frame consumed" (String.length framed) consumed
+      | None -> Alcotest.fail "unframe returned None")
+    [ ""; "x"; {|{"v":1,"type":"metrics"}|}; String.make 100_000 'z' ];
+  (* two frames back to back *)
+  let both = Protocol.frame "first" ^ Protocol.frame "second" in
+  let a, next = Option.get (Protocol.unframe both) in
+  let b, fin = Option.get (Protocol.unframe ~pos:next both) in
+  check_str "first frame" "first" a;
+  check_str "second frame" "second" b;
+  check "all consumed" true (fin = String.length both);
+  check "clean EOF" true (Protocol.unframe ~pos:fin both = None)
+
+let test_framing_errors () =
+  let framed = Protocol.frame "hello framing" in
+  let truncated = String.sub framed 0 (String.length framed - 3) in
+  check "truncated body" true
+    (match Protocol.unframe truncated with
+    | exception Protocol.Frame_error Protocol.Truncated -> true
+    | _ -> false);
+  check "truncated header" true
+    (match Protocol.unframe (String.sub framed 0 2) with
+    | exception Protocol.Frame_error Protocol.Truncated -> true
+    | _ -> false);
+  (* header declaring more than max_frame_bytes *)
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 (Int32.of_int (Protocol.max_frame_bytes + 1));
+  check "oversized declaration" true
+    (match Protocol.unframe (Bytes.to_string huge ^ "xx") with
+    | exception Protocol.Frame_error (Protocol.Oversized _) -> true
+    | _ -> false);
+  check "oversized payload refused on encode" true
+    (match Protocol.frame (String.make (Protocol.max_frame_bytes + 1) 'a') with
+    | exception Protocol.Frame_error (Protocol.Oversized _) -> true
+    | _ -> false)
+
+let test_framing_fd () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Protocol.write_frame a "over the wire";
+  Protocol.write_frame a "";
+  check "fd frame 1" true (Protocol.read_frame b = Some "over the wire");
+  check "fd frame 2" true (Protocol.read_frame b = Some "");
+  (* a truncated write: header promising 100 bytes, then EOF *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 100l;
+  ignore (Unix.write a hdr 0 4);
+  Unix.close a;
+  check "fd truncation detected" true
+    (match Protocol.read_frame b with
+    | exception Protocol.Frame_error Protocol.Truncated -> true
+    | _ -> false);
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_dedup_key () =
+  let k ?(source = "int main() { return 0; }") ?(mode = "informed")
+      ?(strategy = "fig3") ?(x = 2.0) ?budget ?(workload = "inline") () =
+    Store.key ~source ~mode ~strategy ~x_threshold:x ~budget ~workload
+  in
+  check "same inputs same key" true (k () = k ());
+  check "source changes key" true (k () <> k ~source:"int main() { return 1; }" ());
+  check "mode changes key" true (k () <> k ~mode:"uninformed" ());
+  check "strategy changes key" true (k () <> k ~strategy:"model_perf" ());
+  check "x changes key" true (k () <> k ~x:4.0 ());
+  check "budget changes key" true (k () <> k ~budget:1.0 ());
+  check "workload changes key" true (k () <> k ~workload:"bench;profile=8" ())
+
+let test_store_lru () =
+  let s = Store.create ~capacity:2 in
+  Store.add s "k1" 1;
+  Store.add s "k2" 2;
+  check "k1 present" true (Store.find s "k1" = Some 1);
+  (* k1 is now most recently used; adding k3 must evict k2 *)
+  Store.add s "k3" 3;
+  check_int "capacity bound" 2 (Store.length s);
+  check "k2 evicted" true (Store.find s "k2" = None);
+  check "k1 survived" true (Store.find s "k1" = Some 1);
+  check "k3 present" true (Store.find s "k3" = Some 3);
+  let hits, misses = Store.stats s in
+  check_int "hits" 3 hits;
+  check_int "misses" 1 misses;
+  (* re-adding an existing key replaces without growing *)
+  Store.add s "k3" 33;
+  check_int "no growth on replace" 2 (Store.length s);
+  check "replaced" true (Store.find s "k3" = Some 33)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_result tag =
+  { Protocol.report = tag; data = Json.Obj [ ("tag", Json.String tag) ] }
+
+let wait_until ?(timeout_s = 10.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else (
+      Thread.delay 0.01;
+      go ())
+  in
+  go ()
+
+let test_scheduler_dedup () =
+  let metrics = Metrics.create () in
+  let sched = Scheduler.create ~workers:1 ~queue_capacity:8 ~metrics () in
+  let executions = Atomic.make 0 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let submit () =
+    Scheduler.submit sched ~key:"K" ~label:"t" ~mode:Protocol.Informed
+      ~strategy:Protocol.Fig3 (fun () ->
+        Mutex.lock gate;
+        Mutex.unlock gate;
+        Atomic.incr executions;
+        dummy_result "ran")
+  in
+  let id1, d1 = Result.get_ok (submit ()) in
+  (* the job is blocked on [gate]: an identical submission coalesces *)
+  let id2, d2 = Result.get_ok (submit ()) in
+  check "first is fresh" true (d1 = `Fresh);
+  check "second coalesces" true (d2 = `Coalesced);
+  check_int "same job" id1 id2;
+  Mutex.unlock gate;
+  check "job completes" true
+    (wait_until (fun () ->
+         match Scheduler.status sched id1 with
+         | Some { state = Protocol.Done; _ } -> true
+         | _ -> false));
+  check_int "exactly one execution" 1 (Atomic.get executions);
+  (* done and stored: a third identical submission is a store hit *)
+  let id3, d3 = Result.get_ok (submit ()) in
+  check "third is cached" true (d3 = `Cached);
+  check "fresh job id for cached submission" true (id3 <> id1);
+  (match Scheduler.result sched id3 with
+  | Some (view, Some r) ->
+      check "cached flag" true view.Protocol.cached;
+      check_str "cached payload" "ran" r.Protocol.report
+  | _ -> Alcotest.fail "cached job has no result");
+  check_int "still one execution" 1 (Atomic.get executions);
+  Scheduler.shutdown sched
+
+let test_scheduler_backpressure () =
+  let metrics = Metrics.create () in
+  let sched = Scheduler.create ~workers:1 ~queue_capacity:1 ~metrics () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let submit key =
+    Scheduler.submit sched ~key ~label:key ~mode:Protocol.Informed
+      ~strategy:Protocol.Fig3 (fun () ->
+        Mutex.lock gate;
+        Mutex.unlock gate;
+        dummy_result key)
+  in
+  let id1, _ = Result.get_ok (submit "A") in
+  (* wait for A to be picked up so the queue is empty again *)
+  check "A running" true
+    (wait_until (fun () ->
+         match Scheduler.status sched id1 with
+         | Some { state = Protocol.Running; _ } -> true
+         | _ -> false));
+  let _ = Result.get_ok (submit "B") in
+  check "queue full is backpressure" true (submit "C" = Error `Queue_full);
+  Mutex.unlock gate;
+  (* graceful drain: B still completes *)
+  Scheduler.shutdown sched;
+  let all_done =
+    List.for_all
+      (fun (v : Protocol.job_view) -> v.state = Protocol.Done)
+      (Scheduler.list sched)
+  in
+  check "drained: every accepted job finished" true all_done;
+  check "rejected after shutdown" true (submit "D" = Error `Shutting_down)
+
+let test_scheduler_failure () =
+  let metrics = Metrics.create () in
+  let sched = Scheduler.create ~workers:1 ~queue_capacity:4 ~metrics () in
+  let id, _ =
+    Result.get_ok
+      (Scheduler.submit sched ~key:"F" ~label:"f" ~mode:Protocol.Informed
+         ~strategy:Protocol.Fig3 (fun () -> failwith "deliberate"))
+  in
+  check "failure recorded" true
+    (wait_until (fun () ->
+         match Scheduler.status sched id with
+         | Some { state = Protocol.Failed msg; _ } -> contains msg "deliberate"
+         | _ -> false));
+  (* a failed job must not be served from the store *)
+  let _, d =
+    Result.get_ok
+      (Scheduler.submit sched ~key:"F" ~label:"f" ~mode:Protocol.Informed
+         ~strategy:Protocol.Fig3 (fun () -> dummy_result "ok"))
+  in
+  check "failed result not cached" true (d = `Fresh);
+  Scheduler.shutdown sched;
+  check_int "jobs_failed counted" 1 (Metrics.counter_value metrics "jobs_failed")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.incr m "reqs";
+  Metrics.incr ~by:2 m "reqs";
+  Metrics.set_gauge m "depth" 3.0;
+  List.iter (fun v -> Metrics.observe m "lat" v) [ 0.1; 0.2; 0.3; 0.4 ];
+  let j = Metrics.to_json ~extra:[ ("extra", Json.Int 7) ] m in
+  (* must survive its own wire encoding *)
+  let j = Json.parse (Json.to_string j) in
+  check "counter" true (Json.member "reqs" j = Some (Json.Int 3));
+  check "gauge" true (Json.member "depth" j = Some (Json.Float 3.0));
+  check "extra field" true (Json.member "extra" j = Some (Json.Int 7));
+  (match Json.member "lat" j with
+  | Some hist ->
+      check "hist count" true (Json.member "count" hist = Some (Json.Int 4));
+      check "hist p50" true
+        (match Option.bind (Json.member "p50" hist) Json.to_float_opt with
+        | Some p -> p >= 0.1 && p <= 0.4
+        | None -> false)
+  | None -> Alcotest.fail "no histogram in metrics json")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: daemon on a loopback socket vs direct Std_flow          *)
+(* ------------------------------------------------------------------ *)
+
+let with_daemon f =
+  let path = Filename.temp_file "psaflow-test" ".sock" in
+  Sys.remove path;
+  let addr = Protocol.Unix_path path in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve
+          ~config:
+            { Server.workers = 2; queue_capacity = 16; store_capacity = 32 }
+          addr)
+      ()
+  in
+  (* wait for the socket to accept connections *)
+  let ready =
+    wait_until (fun () ->
+        match Client.connect addr with
+        | c ->
+            Client.close c;
+            true
+        | exception Client.Client_error _ -> false)
+  in
+  if not ready then Alcotest.fail "daemon did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Client.rpc addr Protocol.Shutdown) with _ -> ());
+      Thread.join server)
+    (fun () -> f addr)
+
+let direct_report (app : Benchmarks.Bench_app.t) =
+  let ctx = Benchmarks.Bench_app.context ~x_threshold:2.0 app in
+  let outcome = Psa.Std_flow.run_informed ~x_threshold:2.0 ctx in
+  Flow_exec.render_report outcome.results
+
+let test_end_to_end () =
+  with_daemon (fun addr ->
+      (* submit all five paper benchmarks, poll to completion *)
+      let ids =
+        List.map
+          (fun (app : Benchmarks.Bench_app.t) ->
+            match
+              Client.rpc addr
+                (Protocol.Submit_flow
+                   (Protocol.submission (Protocol.Bench app.id)))
+            with
+            | Protocol.Submitted { job_id; disposition = `Fresh } ->
+                (app, job_id)
+            | other ->
+                Alcotest.failf "unexpected submit response for %s: %s" app.id
+                  (Json.to_string (Protocol.response_to_json other)))
+          Benchmarks.Registry.all
+      in
+      List.iter
+        (fun ((app : Benchmarks.Bench_app.t), job_id) ->
+          match Client.wait_result addr job_id with
+          | Ok (view, r) ->
+              check "job done" true (view.Protocol.state = Protocol.Done);
+              check "not cached" true (not view.Protocol.cached);
+              (* the service report must be bit-identical to a direct run *)
+              check_str
+                (app.id ^ " service report = direct run")
+                (direct_report app) r.Protocol.report;
+              check "structured data has designs" true
+                (match Json.member "designs" r.Protocol.data with
+                | Some (Json.List (_ :: _)) -> true
+                | _ -> false)
+          | Error e -> Alcotest.fail e)
+        ids;
+      (* duplicate submission: served from the store, no execution *)
+      let app0 = List.hd Benchmarks.Registry.all in
+      (match
+         Client.rpc addr
+           (Protocol.Submit_flow (Protocol.submission (Protocol.Bench app0.id)))
+       with
+      | Protocol.Submitted { job_id; disposition = `Cached } -> (
+          match Client.rpc addr (Protocol.Fetch_result job_id) with
+          | Protocol.Result (view, r) ->
+              check "cached job flagged" true view.Protocol.cached;
+              check_str "cached report identical" (direct_report app0)
+                r.Protocol.report
+          | other ->
+              Alcotest.failf "cached fetch: %s"
+                (Json.to_string (Protocol.response_to_json other)))
+      | other ->
+          Alcotest.failf "duplicate submit: %s"
+            (Json.to_string (Protocol.response_to_json other)));
+      (* typed errors over the wire *)
+      (match
+         Client.rpc addr
+           (Protocol.Submit_flow (Protocol.submission (Protocol.Bench "wat")))
+       with
+      | Protocol.Error (Protocol.Unknown_benchmark "wat") -> ()
+      | _ -> Alcotest.fail "expected unknown_benchmark");
+      (match
+         Client.rpc addr
+           (Protocol.Submit_flow
+              (Protocol.submission (Protocol.Inline "int main( {")))
+       with
+      | Protocol.Error (Protocol.Minic_parse_error _) -> ()
+      | _ -> Alcotest.fail "expected minic_parse_error");
+      (match
+         Client.rpc addr
+           (Protocol.Submit_flow
+              (Protocol.submission
+                 (Protocol.Inline "int main() { x = 1; return 0; }")))
+       with
+      | Protocol.Error (Protocol.Minic_type_error _) -> ()
+      | _ -> Alcotest.fail "expected minic_type_error");
+      (* metrics: well-formed JSON with the expected counters *)
+      match Client.rpc addr Protocol.Metrics with
+      | Protocol.Metrics_data m ->
+          let m = Json.parse (Json.to_string m) in
+          let counter name =
+            Option.value ~default:(-1)
+              (Option.bind (Json.member name m) Json.to_int_opt)
+          in
+          check_int "five executions" 5 (counter "jobs_completed");
+          check "store hit recorded" true (counter "store_hits" >= 1);
+          check "submissions counted" true (counter "requests_submit_flow" >= 6)
+      | other ->
+          Alcotest.failf "metrics: %s"
+            (Json.to_string (Protocol.response_to_json other)))
+
+let test_job_listing_and_unknown_job () =
+  with_daemon (fun addr ->
+      (match Client.rpc addr (Protocol.Job_status 42) with
+      | Protocol.Error (Protocol.Unknown_job 42) -> ()
+      | _ -> Alcotest.fail "expected unknown_job");
+      match Client.rpc addr Protocol.List_jobs with
+      | Protocol.Jobs [] -> ()
+      | _ -> Alcotest.fail "expected empty job list")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "encode" `Quick test_json_encode;
+          json_roundtrip;
+          json_roundtrip_pretty;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "versioning" `Quick test_protocol_versioning;
+          Alcotest.test_case "framing round-trip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "framing errors" `Quick test_framing_errors;
+          Alcotest.test_case "framing over fds" `Quick test_framing_fd;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "keying" `Quick test_store_dedup_key;
+          Alcotest.test_case "lru eviction" `Quick test_store_lru;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "dedup" `Quick test_scheduler_dedup;
+          Alcotest.test_case "backpressure + drain" `Quick
+            test_scheduler_backpressure;
+          Alcotest.test_case "failure isolation" `Quick test_scheduler_failure;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
+      ( "daemon",
+        [
+          Alcotest.test_case "empty daemon" `Quick
+            test_job_listing_and_unknown_job;
+          Alcotest.test_case "end-to-end vs direct flow" `Slow test_end_to_end;
+        ] );
+    ]
