@@ -78,6 +78,9 @@ let json_out = "BENCH_psaflow.json"
 
 let run ~quick () =
   let reps = if quick then 2 else 5 in
+  (* a clean engine registry: the report's "engine" section then covers
+     exactly this perf run *)
+  Flow_obs.Metrics.reset Flow_obs.Metrics.global;
   Printf.printf "== psaflow perf (%s, %d cores recommended) ==\n%!"
     (if quick then "quick" else "full")
     (Domain.recommended_domain_count ());
@@ -104,12 +107,13 @@ let run ~quick () =
   Minic_interp.Profile_cache.clear ();
   Minic_interp.Profile_cache.reset_stats ();
   let warm_s, () = time (fun () -> repeat reps (analysis_round prepared)) in
-  let hits, misses = Minic_interp.Profile_cache.stats () in
+  let cstats = Minic_interp.Profile_cache.stats () in
+  let hits, misses = (cstats.hits, cstats.misses) in
   let cache_speedup = cold_s /. warm_s in
   Printf.printf
     "analyses %-12s cold %.4f s   cached %.4f s   speedup %.1fx   (%d hits, \
-     %d misses)\n%!"
-    heavy.id cold_s warm_s cache_speedup hits misses;
+     %d misses, %d evictions)\n%!"
+    heavy.id cold_s warm_s cache_speedup hits misses cstats.evictions;
 
   (* -- uninformed 5-benchmark evaluation --------------------------- *)
   let saved_override = !Dse.Pool.override in
@@ -157,6 +161,7 @@ let run ~quick () =
               ("speedup", Float cache_speedup);
               ("hits", Int hits);
               ("misses", Int misses);
+              ("evictions", Int cstats.evictions);
             ] );
         ( "flow",
           Obj
@@ -167,6 +172,10 @@ let run ~quick () =
               ("speedup", Float flow_speedup);
               ("outputs_identical", Bool identical);
             ] );
+        (* the process-wide engine registry: profile-cache hit/miss/
+           eviction, pool utilisation, interpreter cycles, DSE candidate
+           counts accrued over this whole perf run *)
+        ("engine", Flow_service.Metrics.to_json Flow_obs.Metrics.global);
       ]
   in
   let oc = open_out json_out in

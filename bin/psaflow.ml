@@ -24,6 +24,8 @@ open Cmdliner
 module Protocol = Flow_service.Protocol
 module Client = Flow_service.Client
 module Json = Flow_service.Json
+module Log = Flow_obs.Log
+module Trace = Flow_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Error discipline: user mistakes exit non-zero with one line         *)
@@ -35,6 +37,31 @@ let die fmt =
       prerr_endline ("psaflow: " ^ m);
       exit 1)
     fmt
+
+(* ------------------------------------------------------------------ *)
+(* Leveled diagnostics: --verbose/--quiet on every command, and the    *)
+(* PSAFLOW_LOG env var as the default (see Flow_obs.Log)               *)
+(* ------------------------------------------------------------------ *)
+
+let log_term =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Verbose diagnostics (debug level; $(b,run) also prints the flow \
+             event log).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Only error diagnostics (overrides -v).")
+  in
+  Term.(
+    const (fun verbose quiet ->
+        if quiet then Log.set_level Log.Error
+        else if verbose then Log.set_level Log.Debug)
+    $ verbose $ quiet)
 
 let find_bench id =
   try Benchmarks.Registry.find id
@@ -90,13 +117,20 @@ let run_cmd =
       & opt (some float) None
       & info [ "budget" ] ~doc:"Cost budget in dollars per run (Fig. 3 feedback).")
   in
-  let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the flow event log.")
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the flow execution to \
+             $(docv) (open in about:tracing or Perfetto).")
   in
-  let run bench uninformed budget x verbose =
+  let run () bench uninformed budget x trace_file =
     protect @@ fun () ->
     let app = find_bench bench in
     let ctx = Benchmarks.Bench_app.context ~x_threshold:x ?budget app in
+    if trace_file <> None then Trace.start ();
     Format.printf "running %s PSA-flow on %s (profile n=%d, eval n=%d)@."
       (if uninformed then "uninformed" else "informed")
       app.name app.profile_n app.eval_n;
@@ -104,12 +138,27 @@ let run_cmd =
       if uninformed then Psa.Std_flow.run_uninformed ~x_threshold:x ctx
       else Psa.Std_flow.run_informed ~x_threshold:x ?budget ctx
     in
-    if verbose then
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+        Trace.stop ();
+        let json = Trace.export () in
+        (match Json.parse_result json with
+        | Ok _ -> ()
+        | Error e -> die "internal error: exported trace is invalid JSON: %s" e);
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc json);
+        Log.infof "trace: %d spans written to %s"
+          (List.length (Trace.completed_spans ()))
+          path);
+    if Log.enabled Log.Info then
       List.iter (fun l -> Format.printf "  %s@." l) outcome.log;
     print_results outcome.results
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the PSA-flow on a benchmark.")
-    Term.(const run $ bench_arg $ uninformed $ budget $ x_arg $ verbose)
+    Term.(const run $ log_term $ bench_arg $ uninformed $ budget $ x_arg $ trace)
 
 let list_cmd =
   let run () =
@@ -130,7 +179,7 @@ let list_cmd =
     Term.(const run $ const ())
 
 let analyze_cmd =
-  let run bench x =
+  let run () bench x =
     protect @@ fun () ->
     let app = find_bench bench in
     let ctx = Benchmarks.Bench_app.context ~x_threshold:x app in
@@ -145,7 +194,45 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the target-independent analyses and print the PSA decision.")
-    Term.(const run $ bench_arg $ x_arg)
+    Term.(const run $ log_term $ bench_arg $ x_arg)
+
+let explain_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~doc:"Cost budget in dollars per run (Fig. 3 feedback).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the decision records as JSON.")
+  in
+  let run () bench budget x json =
+    protect @@ fun () ->
+    let app = find_bench bench in
+    let ctx = Benchmarks.Bench_app.context ~x_threshold:x ?budget app in
+    let outcome = Psa.Std_flow.run_informed ~x_threshold:x ?budget ctx in
+    if json then
+      print_endline
+        (Json.to_string_pretty (Flow_service.Flow_exec.decisions_json outcome))
+    else begin
+      let decisions = Psa.Context.collect_decisions outcome.contexts in
+      Format.printf "decision provenance of the informed PSA-flow on %s:@.@."
+        app.name;
+      print_string (Flow_obs.Provenance.render_all decisions);
+      match Psa.Report.best outcome.results with
+      | Some b ->
+          Format.printf "@.outcome: %s (%.1fx)@." b.design.name b.speedup
+      | None -> Format.printf "@.outcome: no feasible design@."
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the informed PSA-flow and print why each branch point chose \
+          its path (strategy, selection, analysis evidence).")
+    Term.(const run $ log_term $ bench_arg $ budget $ x_arg $ json)
 
 let export_cmd =
   let design_arg =
@@ -256,7 +343,7 @@ let serve_cmd =
       & info [ "store-cap" ] ~docv:"N"
           ~doc:"Result-store capacity (LRU-evicted beyond it).")
   in
-  let run socket workers queue_cap store_cap =
+  let run () socket workers queue_cap store_cap =
     protect @@ fun () ->
     let addr = addr_of socket in
     Format.printf "psaflow daemon listening on %s (%d workers)@."
@@ -274,7 +361,7 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the flow daemon (blocks until svc-shutdown).")
-    Term.(const run $ socket_arg $ workers $ queue_cap $ store_cap)
+    Term.(const run $ log_term $ socket_arg $ workers $ queue_cap $ store_cap)
 
 let pp_job_line (j : Protocol.job_view) =
   Format.printf "job #%d  %-12s %-10s %-12s %-7s%s%s@." j.job_id j.label
@@ -324,7 +411,15 @@ let submit_cmd =
       value & flag
       & info [ "wait" ] ~doc:"Block until the job finishes; print its report.")
   in
-  let run socket bench_id file uninformed strategy budget x wait =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Capture a Chrome trace of the job's execution; the trace JSON \
+             is embedded in the result data (see $(b,fetch --json)).")
+  in
+  let run () socket bench_id file uninformed strategy budget x wait trace =
     protect @@ fun () ->
     let source =
       match (bench_id, file) with
@@ -346,7 +441,7 @@ let submit_cmd =
         ~mode:(if uninformed then Protocol.Uninformed else Protocol.Informed)
         ~strategy:
           (Option.get (Protocol.strategy_of_string strategy))
-        ~x_threshold:x ?budget source
+        ~x_threshold:x ?budget ~trace source
     in
     let addr = addr_of socket in
     if wait then
@@ -367,8 +462,8 @@ let submit_cmd =
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit a flow job to the daemon.")
     Term.(
-      const run $ socket_arg $ bench_opt $ file $ uninformed $ strategy
-      $ budget $ x_arg $ wait)
+      const run $ log_term $ socket_arg $ bench_opt $ file $ uninformed
+      $ strategy $ budget $ x_arg $ wait $ trace)
 
 let status_cmd =
   let job_arg =
@@ -405,16 +500,28 @@ let fetch_cmd =
   let wait =
     Arg.(value & flag & info [ "wait" ] ~doc:"Poll until the job finishes.")
   in
-  let run socket id wait =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the structured result data (designs, log, explain, and \
+             the trace for --trace submissions) instead of the report.")
+  in
+  let run () socket id wait json =
     protect @@ fun () ->
     let addr = addr_of socket in
+    let print (r : Protocol.job_result) =
+      if json then print_endline (Json.to_string_pretty r.data)
+      else print_string r.report
+    in
     if wait then
       match Client.wait_result addr id with
-      | Ok (_, r) -> print_string r.report
+      | Ok (_, r) -> print r
       | Error e -> die "%s" e
     else
       match Client.rpc addr (Protocol.Fetch_result id) with
-      | Protocol.Result (_, r) -> print_string r.report
+      | Protocol.Result (_, r) -> print r
       | Protocol.Status j ->
           pp_job_line j;
           exit 3 (* not done yet: distinct from hard failures *)
@@ -423,7 +530,7 @@ let fetch_cmd =
   in
   Cmd.v
     (Cmd.info "fetch" ~doc:"Print a finished job's report.")
-    Term.(const run $ socket_arg $ job_arg $ wait)
+    Term.(const run $ log_term $ socket_arg $ job_arg $ wait $ json)
 
 let svc_metrics_cmd =
   let run socket =
@@ -452,6 +559,8 @@ let svc_shutdown_cmd =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* spans carry real wall-clock timestamps in CLI traces *)
+  Trace.set_clock Unix.gettimeofday;
   let info = Cmd.info "psaflow" ~doc:"Auto-generating diverse heterogeneous designs." in
   exit
     (Cmd.eval
@@ -460,6 +569,7 @@ let () =
             run_cmd;
             list_cmd;
             analyze_cmd;
+            explain_cmd;
             export_cmd;
             debug_cmd_t;
             flow_cmd;

@@ -61,6 +61,10 @@ let of_kernel_obs ~kernel (k : Minic_interp.Profile.kernel_obs) : t =
 
 (** Run the alias analysis on calls to [kernel] in [p]. *)
 let analyze (p : Ast.program) ~kernel : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.alias"
+    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_alias";
   let run = Minic_interp.Profile_cache.run ~focus:kernel p in
   match run.profile.kernel with
   | None -> { kernel; no_alias = true; overlaps = [] }

@@ -33,6 +33,10 @@ let bytes_per_call t =
 
 (** Analyse data movement of calls to [kernel] in [p]. *)
 let analyze (p : Ast.program) ~kernel : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.data_inout"
+    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_data_inout";
   let run = Minic_interp.Profile_cache.run ~focus:kernel p in
   match run.profile.kernel with
   | None ->

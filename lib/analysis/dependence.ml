@@ -253,6 +253,10 @@ let analyze_loop (s : Ast.stmt) : loop_info =
 
 (** Analyse every [for] loop of the function named [fname]. *)
 let analyze_function (p : Ast.program) fname : loop_info list =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.dependence"
+    ~args:[ ("function", Flow_obs.Attr.String fname) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_dependence";
   Artisan.Query.(stmts_in ~where:is_for p fname)
   |> List.map (fun (m : Artisan.Query.match_ctx) -> analyze_loop m.stmt)
 

@@ -28,6 +28,15 @@ let scale_int ~n1 ~n2 ~n v1 v2 =
     at sizes [n1] and [n2] (of the same benchmark, so the two vectors are
     structurally identical). *)
 let features ~n1 (f1 : Features.t) ~n2 (f2 : Features.t) ~n : Features.t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.extrapolate"
+    ~args:
+      [
+        ("n1", Flow_obs.Attr.Int n1);
+        ("n2", Flow_obs.Attr.Int n2);
+        ("n", Flow_obs.Attr.Int n);
+      ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_extrapolate";
   let s v1 v2 = scale ~n1 ~n2 ~n v1 v2 in
   let inner_loops =
     List.map2

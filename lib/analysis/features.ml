@@ -209,6 +209,10 @@ let gather_info (p : Ast.program) kernel =
     kernel cost) plus the static analyses (dependence, intensity,
     op census, register estimate). *)
 let analyze (p : Ast.program) ~kernel : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.features"
+    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_features";
   let run = Minic_interp.Profile_cache.run ~focus:kernel p in
   let prof = run.profile in
   let trips = Trip_count.of_profile prof in

@@ -47,6 +47,10 @@ let instrument ?func (p : Ast.program) =
 (** Detect the hotspot loop of [p] by instrumented execution.
     Returns [None] when [func] contains no loop. *)
 let detect ?(func = "main") (p : Ast.program) : t option =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.hotspot"
+    ~args:[ ("function", Flow_obs.Attr.String func) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_hotspot";
   let cands = candidates ~func p in
   if cands = [] then None
   else
@@ -91,6 +95,13 @@ let detect ?(func = "main") (p : Ast.program) : t option =
         in
         let chosen, skipped = descend start [] in
         let cycles = cycles_of chosen.stmt.sid in
+        Flow_obs.Trace.add_args
+          [
+            ("loop_sid", Flow_obs.Attr.Int chosen.stmt.sid);
+            ( "share",
+              Flow_obs.Attr.Float
+                (if total_cycles > 0.0 then cycles /. total_cycles else 0.0) );
+          ];
         Some
           {
             loop_sid = chosen.stmt.sid;

@@ -150,6 +150,10 @@ and block_cost vars b =
 (** Arithmetic intensity of the function [fname]'s body, per outermost
     iteration. *)
 let analyze (p : Ast.program) fname : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.intensity"
+    ~args:[ ("function", Flow_obs.Attr.String fname) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_intensity";
   let f = Ast.find_func p fname in
   let vars = Hashtbl.create 16 in
   List.iter

@@ -40,6 +40,8 @@ let of_profile (prof : Minic_interp.Profile.t) : t =
 
 (** Run the program and collect trip counts of every loop. *)
 let analyze (p : Ast.program) : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.trip_count" @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_trip_count";
   let run = Minic_interp.Profile_cache.run p in
   of_profile run.profile
 

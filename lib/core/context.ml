@@ -31,6 +31,8 @@ type t = {
   x_threshold : float;  (** FLOPs/B threshold X of the Fig. 3 strategy *)
   budget : float option;  (** cost budget, $ per run (Fig. 3 feedback) *)
   log : string list;  (** reverse-chronological event log *)
+  decisions : Flow_obs.Provenance.decision list;
+      (** reverse-chronological branch-decision provenance *)
 }
 
 (* Workload-size validation: a nonsensical size is a caller bug and is
@@ -94,6 +96,7 @@ let make ?(benchmark = "app") ?(profile_n = 0) ?secondary ?eval_n
     x_threshold;
     budget;
     log = warnings;
+    decisions = [];
   }
 
 let log msg ctx = { ctx with log = msg :: ctx.log }
@@ -144,5 +147,29 @@ let collect_logs ctxs =
     | c :: rest ->
         let ev = events c in
         drop_common prev ev @ go ev rest
+  in
+  go [] ctxs
+
+(** Record a branch decision (provenance) on the context. *)
+let record_decision d ctx = { ctx with decisions = d :: ctx.decisions }
+
+(** Branch decisions of one context, in chronological order. *)
+let decisions ctx = List.rev ctx.decisions
+
+(** Merged decision provenance of all terminal contexts; like
+    {!collect_logs}, fan-out duplicates the shared prefix into every
+    leaf, so each leaf contributes only its novel suffix. *)
+let collect_decisions ctxs =
+  let rec drop_common prev cur =
+    match (prev, cur) with
+    | (p : Flow_obs.Provenance.decision) :: prev', c :: cur' when p = c ->
+        drop_common prev' cur'
+    | _ -> cur
+  in
+  let rec go prev = function
+    | [] -> []
+    | c :: rest ->
+        let ds = decisions c in
+        drop_common prev ds @ go ds rest
   in
   go [] ctxs

@@ -22,6 +22,9 @@ and branch_point = {
   bp_name : string;
   paths : (string * t) list;
   select : Context.t -> selection;
+  strategy_label : string;  (** provenance: which strategy is plugged in *)
+  evidence : (Context.t -> (string * Flow_obs.Attr.value) list) option;
+      (** provenance: analysis facts the strategy consulted *)
 }
 
 (** Sequential composition. *)
@@ -29,24 +32,87 @@ let seq ts = Seq ts
 
 let task t = Task t
 
-(** A branch point with a PSA strategy. *)
-let branch bp_name ~select paths = Branch { bp_name; paths; select }
+(** A branch point with a PSA strategy.  [strategy_label] and [evidence]
+    feed the decision-provenance record written to the context whenever
+    the branch fires. *)
+let branch ?(strategy_label = "custom") ?evidence bp_name ~select paths =
+  Branch { bp_name; paths; select; strategy_label; evidence }
 
 (** The uninformed strategy: take every path. *)
 let select_all _ = All
 
 exception Unknown_path of string * string
 
+(** Provenance evidence of a branch point on a context; a failing
+    evidence callback (analyses not run yet) yields no evidence rather
+    than aborting the flow. *)
+let branch_evidence bp ctx =
+  match bp.evidence with
+  | None -> []
+  | Some f -> ( try f ctx with _ -> [])
+
 (** Run a flow; returns the terminal contexts (one per reached leaf). *)
 let rec run (flow : t) (ctx : Context.t) : Context.t list =
   match flow with
-  | Task t -> [ Task.apply t ctx ]
+  | Task t ->
+      Flow_obs.Trace.with_span ~cat:"task" t.Task.name
+        ~args:
+          [
+            ( "class",
+              Flow_obs.Attr.String
+                (Task.classification_letter t.Task.classification) );
+            ("dynamic", Flow_obs.Attr.Bool t.Task.dynamic);
+          ]
+      @@ fun () -> [ Task.apply t ctx ]
   | Seq fs ->
+      Flow_obs.Trace.with_span ~cat:"flow" "seq"
+        ~args:[ ("length", Flow_obs.Attr.Int (List.length fs)) ]
+      @@ fun () ->
       List.fold_left
         (fun ctxs f -> List.concat_map (run f) ctxs)
         [ ctx ] fs
-  | Branch bp -> (
-      match bp.select ctx with
+  | Branch bp ->
+      Flow_obs.Trace.with_span ~cat:"branch" ("branch " ^ bp.bp_name)
+      @@ fun () ->
+      let selection = bp.select ctx in
+      let decision =
+        let evidence = branch_evidence bp ctx in
+        match selection with
+        | Stop reason ->
+            {
+              Flow_obs.Provenance.branch = bp.bp_name;
+              strategy = bp.strategy_label;
+              selected = [];
+              reason = Some reason;
+              evidence;
+            }
+        | All ->
+            {
+              Flow_obs.Provenance.branch = bp.bp_name;
+              strategy = "uninformed";
+              selected = List.map fst bp.paths;
+              reason = None;
+              evidence;
+            }
+        | Paths names ->
+            {
+              Flow_obs.Provenance.branch = bp.bp_name;
+              strategy = bp.strategy_label;
+              selected = names;
+              reason = None;
+              evidence;
+            }
+      in
+      Flow_obs.Trace.add_args
+        [
+          ("strategy", Flow_obs.Attr.String decision.strategy);
+          ( "selected",
+            Flow_obs.Attr.String
+              (Flow_obs.Provenance.selection_to_string decision) );
+        ];
+      Flow_obs.Metrics.incr Flow_obs.Metrics.global "flow_branch_decisions";
+      let ctx = Context.record_decision decision ctx in
+      (match selection with
       | Stop reason ->
           [ Context.logf ctx "branch %s: stop (%s)" bp.bp_name reason ]
       | All ->
@@ -88,15 +154,21 @@ let rec tasks = function
 
 (** Rewrite the selection strategy of the branch point named [name]
     (how the evaluation switches branch point A between informed and
-    uninformed modes, and how users plug in custom strategies). *)
-let rec override_selection ~name ~select = function
+    uninformed modes, and how users plug in custom strategies).
+    [strategy_label] renames the provenance label of the replaced
+    strategy (default ["custom"]); the evidence callback is kept, so
+    custom strategies still surface the analysis facts in [explain]. *)
+let rec override_selection ?(strategy_label = "custom") ~name ~select =
+  function
   | Task t -> Task t
-  | Seq fs -> Seq (List.map (override_selection ~name ~select) fs)
+  | Seq fs ->
+      Seq (List.map (override_selection ~strategy_label ~name ~select) fs)
   | Branch bp ->
       let paths =
         List.map
-          (fun (n, f) -> (n, override_selection ~name ~select f))
+          (fun (n, f) -> (n, override_selection ~strategy_label ~name ~select f))
           bp.paths
       in
-      if bp.bp_name = name then Branch { bp with paths; select }
+      if bp.bp_name = name then
+        Branch { bp with paths; select; strategy_label }
       else Branch { bp with paths }

@@ -21,6 +21,9 @@ and branch_point = {
   bp_name : string;
   paths : (string * t) list;
   select : Context.t -> selection;  (** the PSA strategy *)
+  strategy_label : string;  (** provenance: which strategy is plugged in *)
+  evidence : (Context.t -> (string * Flow_obs.Attr.value) list) option;
+      (** provenance: analysis facts the strategy consulted *)
 }
 
 (** Sequential composition. *)
@@ -28,8 +31,16 @@ val seq : t list -> t
 
 val task : Task.t -> t
 
-(** A branch point with a PSA strategy. *)
-val branch : string -> select:(Context.t -> selection) -> (string * t) list -> t
+(** A branch point with a PSA strategy.  [strategy_label] (default
+    ["custom"]) and [evidence] feed the decision-provenance record
+    written to the context whenever the branch fires. *)
+val branch :
+  ?strategy_label:string ->
+  ?evidence:(Context.t -> (string * Flow_obs.Attr.value) list) ->
+  string ->
+  select:(Context.t -> selection) ->
+  (string * t) list ->
+  t
 
 (** The uninformed strategy: take every path. *)
 val select_all : Context.t -> selection
@@ -46,6 +57,12 @@ val tasks : t -> Task.t list
 
 (** Rewrite the selection strategy of the branch point named [name] —
     how the evaluation switches branch point A between informed and
-    uninformed modes, and how users plug in custom strategies. *)
+    uninformed modes, and how users plug in custom strategies.
+    [strategy_label] (default ["custom"]) becomes the provenance label
+    of the new strategy; any evidence callback is kept. *)
 val override_selection :
-  name:string -> select:(Context.t -> selection) -> t -> t
+  ?strategy_label:string ->
+  name:string ->
+  select:(Context.t -> selection) ->
+  t ->
+  t

@@ -394,13 +394,15 @@ let fpga_path ~select_c =
 (** The complete PSA-flow.  Branch point A's strategy is parameterised:
     [Strategy.fig3] gives the informed flow, [Flow.select_all] the
     uninformed one.  B and C default to selecting both devices, as in the
-    paper's implementation. *)
-let flow ?(select_a = Strategy.fig3) ?(select_b = Flow.select_all)
-    ?(select_c = Flow.select_all) () =
+    paper's implementation.  [label_a] names the plugged-in strategy in
+    the decision provenance ([psaflow explain]). *)
+let flow ?(select_a = Strategy.fig3) ?(label_a = "fig3")
+    ?(select_b = Flow.select_all) ?(select_c = Flow.select_all) () =
   Flow.seq
     [
       target_independent;
-      Flow.branch "A" ~select:select_a
+      Flow.branch "A" ~strategy_label:label_a
+        ~evidence:Strategy.branch_a_evidence ~select:select_a
         [
           ("cpu", cpu_path);
           ("gpu", gpu_path ~select_b);
@@ -453,7 +455,9 @@ let run_informed ?(x_threshold = 2.0) ?budget ctx =
         in
         let revised =
           run_flow
-            (flow ~select_a:(fun _ -> Flow.Paths remaining) ())
+            (flow
+               ~select_a:(fun _ -> Flow.Paths remaining)
+               ~label_a:"budget-feedback" ())
             (Context.log "budget feedback: revising mapping decision" ctx)
         in
         let in_budget =

@@ -94,6 +94,29 @@ let pp_explanation fmt e =
      else "")
     (decision_to_string e.decision)
 
+(** Provenance evidence of an explanation: every intermediate test of
+    the Fig. 3 decision diamond, as displayable attributes. *)
+let evidence_of_explanation (e : explanation) :
+    (string * Flow_obs.Attr.value) list =
+  [
+    ("transfer_seconds", Flow_obs.Attr.Float e.transfer_seconds);
+    ("cpu_seconds", Flow_obs.Attr.Float e.cpu_seconds);
+    ("transfer_dominates", Flow_obs.Attr.Bool e.transfer_dominates);
+    ("flops_per_byte", Flow_obs.Attr.Float e.flops_per_byte);
+    ("x_threshold", Flow_obs.Attr.Float e.x_threshold);
+    ("compute_bound", Flow_obs.Attr.Bool e.compute_bound);
+    ("outer_parallel", Flow_obs.Attr.Bool e.outer_parallel);
+    ("dependent_inner_loops", Flow_obs.Attr.Bool e.dependent_inner_loops);
+    ("fully_unrollable", Flow_obs.Attr.Bool e.fully_unrollable);
+  ]
+
+(** Evidence callback for branch point A: the Fig. 3 facts, or nothing
+    when the analyses have not produced features yet (e.g. uninformed
+    mode on a context that stopped earlier). *)
+let branch_a_evidence (ctx : Context.t) :
+    (string * Flow_obs.Attr.value) list =
+  try evidence_of_explanation (fig3_explain ctx) with _ -> []
+
 (** The Fig. 3 strategy as a branch-point selection function for branch
     point A with paths named "cpu", "gpu", "fpga". *)
 let fig3 (ctx : Context.t) : Flow.selection =

@@ -32,6 +32,16 @@ val fig3_explain : Context.t -> explanation
 
 val pp_explanation : Format.formatter -> explanation -> unit
 
+(** Every intermediate test of the Fig. 3 decision diamond, as
+    displayable provenance attributes. *)
+val evidence_of_explanation :
+  explanation -> (string * Flow_obs.Attr.value) list
+
+(** Evidence callback for branch point A ([Flow.branch ~evidence]):
+    {!evidence_of_explanation} of {!fig3_explain}, or [[]] when the
+    analyses have not produced features yet. *)
+val branch_a_evidence : Context.t -> (string * Flow_obs.Attr.value) list
+
 (** The Fig. 3 strategy as a branch-point selection function for branch
     point A with paths named "cpu", "gpu", "fpga". *)
 val fig3 : Context.t -> Flow.selection

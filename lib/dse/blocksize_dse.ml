@@ -30,8 +30,19 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
        (order-preserving, so the first-best tie-break is unchanged) *)
     Pool.map
       (fun bs ->
+        Flow_obs.Trace.with_span ~cat:"dse" "dse.blocksize_candidate"
+          ~args:[ ("blocksize", Flow_obs.Attr.Int bs) ]
+        @@ fun () ->
+        let m = Flow_obs.Metrics.global in
+        Flow_obs.Metrics.incr m "dse_candidates";
         let d = { design with Codegen.Design.blocksize = bs } in
         let r = Devices.Gpu_model.time gpu d features in
+        if not r.feasible then Flow_obs.Metrics.incr m "dse_rejected";
+        Flow_obs.Trace.add_args
+          [
+            ("seconds", Flow_obs.Attr.Float r.total);
+            ("feasible", Flow_obs.Attr.Bool r.feasible);
+          ];
         {
           blocksize = bs;
           occupancy = r.occupancy;

@@ -49,8 +49,16 @@ let map ?jobs:j f xs =
   let nworkers = match j with Some n -> max 1 n | None -> jobs () in
   let items = Array.of_list xs in
   let n = Array.length items in
-  if nworkers <= 1 || n <= 1 then List.map f xs
+  let m = Flow_obs.Metrics.global in
+  Flow_obs.Metrics.incr ~by:n m "pool_items";
+  Flow_obs.Metrics.set_gauge m "pool_workers" (float_of_int nworkers);
+  if nworkers <= 1 || n <= 1 then begin
+    Flow_obs.Metrics.incr m "pool_sequential_maps";
+    List.map f xs
+  end
   else begin
+    Flow_obs.Metrics.incr m "pool_parallel_maps";
+    Flow_obs.Metrics.observe m "pool_map_width" (float_of_int n);
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in

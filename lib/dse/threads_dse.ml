@@ -28,7 +28,12 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
        (order-preserving, so the first-best tie-break is unchanged) *)
     Pool.map
       (fun t ->
+        Flow_obs.Trace.with_span ~cat:"dse" "dse.threads_candidate"
+          ~args:[ ("threads", Flow_obs.Attr.Int t) ]
+        @@ fun () ->
+        Flow_obs.Metrics.incr Flow_obs.Metrics.global "dse_candidates";
         let r = Devices.Cpu_model.time cpu features ~threads:t in
+        Flow_obs.Trace.add_args [ ("seconds", Flow_obs.Attr.Float r.t_parallel) ];
         { threads = t; seconds = r.t_parallel; speedup = r.speedup })
       candidates
   in

@@ -28,7 +28,18 @@ let max_factor = 1 lsl 16
 let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
   let fpga = Devices.Spec.find_fpga design.device_id in
   let eval n =
+    Flow_obs.Trace.with_span ~cat:"dse" "dse.unroll_candidate"
+      ~args:[ ("factor", Flow_obs.Attr.Int n) ]
+    @@ fun () ->
+    let m = Flow_obs.Metrics.global in
+    Flow_obs.Metrics.incr m "dse_candidates";
     let r = Devices.Fpga_model.resources fpga design features ~unroll:n in
+    if r.overmapped then Flow_obs.Metrics.incr m "dse_rejected";
+    Flow_obs.Trace.add_args
+      [
+        ("utilization", Flow_obs.Attr.Float r.utilization);
+        ("overmapped", Flow_obs.Attr.Bool r.overmapped);
+      ];
     {
       factor = n;
       utilization = r.utilization;

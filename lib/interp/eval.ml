@@ -492,10 +492,13 @@ type run = {
 
 (** Slot-compile a program once; the result can be executed many times
     with {!run_compiled}. *)
-let compile = Resolve.compile
+let compile p =
+  Flow_obs.Trace.with_span ~cat:"interp" "interp.compile" (fun () ->
+      Resolve.compile p)
 
 (** Run an already-compiled program from [main]. *)
 let run_compiled ?focus ?(fuel = 200_000_000) (cp : Resolve.t) : run =
+  Flow_obs.Trace.with_span ~cat:"interp" "interp.eval" @@ fun () ->
   let focus_idx =
     match focus with
     | None -> -1
@@ -524,6 +527,11 @@ let run_compiled ?focus ?(fuel = 200_000_000) (cp : Resolve.t) : run =
   if cp.main_idx < 0 then err "program has no 'main' function";
   charge st Profile.Cost.call;
   let return_value = eval_user_call st cp.main_idx [] in
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "interp_runs";
+  Flow_obs.Metrics.observe Flow_obs.Metrics.global "interp_virtual_cycles"
+    st.prof.cycles;
+  Flow_obs.Trace.add_args
+    [ ("virtual_cycles", Flow_obs.Attr.Float st.prof.cycles) ];
   { profile = st.prof; output = Buffer.contents st.out; return_value }
 
 (** Run [program] from [main].

@@ -24,14 +24,40 @@
     The cache is a process-wide table guarded by a mutex so DSE worker
     domains can share it; the interpreter run itself executes outside
     the lock (a racing miss may compute the same entry twice, which is
-    harmless because runs are deterministic). *)
+    harmless because runs are deterministic).
+
+    Capacity is bounded ([PSAFLOW_CACHE_CAP], default 512 entries) with
+    insertion-order eviction — within one flow the hot entries are the
+    most recent ones, so FIFO loses almost nothing over LRU and needs no
+    per-hit bookkeeping.  Hit/miss/eviction counts are mirrored into the
+    process-wide metrics registry ({!Flow_obs.Metrics.global}) as
+    [profile_cache_hits]/[profile_cache_misses]/
+    [profile_cache_evictions], and every cache consultation is a trace
+    span carrying its [hit] outcome. *)
 
 let lock = Mutex.create ()
 let table : (string, Eval.run) Hashtbl.t = Hashtbl.create 64
+let insertion_order : string Queue.t = Queue.create ()
 
-type stats = { mutable hits : int; mutable misses : int }
+type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
 
-let counters = { hits = 0; misses = 0 }
+let counters = { hits = 0; misses = 0; evictions = 0 }
+
+let default_capacity = 512
+
+let capacity =
+  ref
+    (match
+       Option.bind (Sys.getenv_opt "PSAFLOW_CACHE_CAP") int_of_string_opt
+     with
+    | Some c when c >= 1 -> c
+    | _ -> default_capacity)
+
+(** Change the entry bound (also settable via [PSAFLOW_CACHE_CAP]).
+    Takes effect on the next insertion. *)
+let set_capacity c =
+  if c < 1 then invalid_arg "Profile_cache.set_capacity: capacity must be >= 1";
+  capacity := c
 
 let enabled =
   ref
@@ -47,16 +73,28 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-(** Drop all entries (keeps the hit/miss counters). *)
-let clear () = with_lock (fun () -> Hashtbl.reset table)
+(** Drop all entries (keeps the hit/miss/eviction counters). *)
+let clear () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      Queue.clear insertion_order)
 
-(** Cumulative (hits, misses) since start or {!reset_stats}. *)
-let stats () = with_lock (fun () -> (counters.hits, counters.misses))
+type snapshot = { hits : int; misses : int; evictions : int }
+
+(** Cumulative counts since start or {!reset_stats}. *)
+let stats () =
+  with_lock (fun () ->
+      {
+        hits = counters.hits;
+        misses = counters.misses;
+        evictions = counters.evictions;
+      })
 
 let reset_stats () =
   with_lock (fun () ->
       counters.hits <- 0;
-      counters.misses <- 0)
+      counters.misses <- 0;
+      counters.evictions <- 0)
 
 let key ?focus (p : Minic.Ast.program) =
   let buf = Buffer.create 4096 in
@@ -77,12 +115,28 @@ let key ?focus (p : Minic.Ast.program) =
   | None -> ());
   Digest.string (Buffer.contents buf)
 
+let gincr name = Flow_obs.Metrics.incr Flow_obs.Metrics.global name
+
+(* Keep the table within [capacity] entries, insertion-order eviction.
+   Keys in the queue may already have been dropped by {!clear}; those
+   are skipped without counting. *)
+let evict_excess_locked () =
+  while Hashtbl.length table > !capacity && not (Queue.is_empty insertion_order) do
+    let oldest = Queue.pop insertion_order in
+    if Hashtbl.mem table oldest then begin
+      Hashtbl.remove table oldest;
+      counters.evictions <- counters.evictions + 1;
+      gincr "profile_cache_evictions"
+    end
+  done
+
 (** Like {!Eval.run}, but memoized.  Only the default fuel budget is
     cacheable; callers that restrict fuel must use {!Eval.run}
     directly. *)
 let run ?focus (p : Minic.Ast.program) : Eval.run =
   if not !enabled then Eval.run ?focus p
   else
+    Flow_obs.Trace.with_span ~cat:"interp" "profile_cache.run" @@ fun () ->
     let k = key ?focus p in
     let cached =
       with_lock (fun () ->
@@ -95,9 +149,18 @@ let run ?focus (p : Minic.Ast.program) : Eval.run =
               None)
     in
     match cached with
-    | Some r -> r
+    | Some r ->
+        gincr "profile_cache_hits";
+        Flow_obs.Trace.add_args [ ("hit", Flow_obs.Attr.Bool true) ];
+        r
     | None ->
+        gincr "profile_cache_misses";
+        Flow_obs.Trace.add_args [ ("hit", Flow_obs.Attr.Bool false) ];
         let r = Eval.run ?focus p in
         with_lock (fun () ->
-            if not (Hashtbl.mem table k) then Hashtbl.add table k r);
+            if not (Hashtbl.mem table k) then begin
+              Hashtbl.add table k r;
+              Queue.push k insertion_order;
+              evict_excess_locked ()
+            end);
         r

@@ -1,0 +1,65 @@
+(** Leveled diagnostic logger for the whole toolchain.
+
+    One process-wide level; messages below it are dropped before
+    formatting work happens.  The default sink writes one line per
+    message to stderr ([psaflow[level] message]), so CLI product output
+    on stdout is never interleaved with diagnostics.
+
+    Controlled three ways, in increasing precedence: the [PSAFLOW_LOG]
+    environment variable at startup ([quiet]/[error]/[warn]/[info]/
+    [debug]), {!set_level} (the CLI's [--verbose]/[--quiet] flags), and
+    a custom {!set_sink} for tests. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+let severity = function
+  | Quiet -> 0
+  | Error -> 1
+  | Warn -> 2
+  | Info -> 3
+  | Debug -> 4
+
+let to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "none" | "off" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let default_level () =
+  match Option.bind (Sys.getenv_opt "PSAFLOW_LOG") of_string with
+  | Some l -> l
+  | None -> Warn
+
+let current = ref (default_level ())
+let set_level l = current := l
+let level () = !current
+
+(** Would a message at [l] be emitted right now? *)
+let enabled l = severity l <= severity !current && l <> Quiet
+
+let default_sink ~level msg =
+  prerr_endline (Printf.sprintf "psaflow[%s] %s" (to_string level) msg)
+
+let sink = ref default_sink
+
+(** Replace the output sink (tests); {!set_sink} [default_sink] restores
+    stderr output. *)
+let set_sink f = sink := f
+
+let logf lvl fmt =
+  Printf.ksprintf (fun m -> if enabled lvl then !sink ~level:lvl m) fmt
+
+let errorf fmt = logf Error fmt
+let warnf fmt = logf Warn fmt
+let infof fmt = logf Info fmt
+let debugf fmt = logf Debug fmt

@@ -1,0 +1,192 @@
+(** Unified metrics registry: named counters, gauges and histograms.
+
+    Promoted out of the service layer so the flow engine itself can
+    register sources (profile-cache hits/misses/evictions, pool
+    activity, interpreter virtual cycles, DSE candidates); the daemon's
+    [svc-metrics] and [bench/main.exe perf] both read the same
+    process-wide {!global} registry.  Libraries that need their own
+    isolated registry (the daemon's per-server request counters, tests)
+    use {!create}.
+
+    Histograms keep full-precision summary statistics (count/sum/min/
+    max) plus a bounded ring of recent observations from which
+    percentiles are computed (nearest-rank over the retained window).
+    Percentile queries are total: empty and single-sample histograms
+    answer without raising and never produce NaN, and NaN observations
+    are dropped at the door rather than poisoning the summary.  All
+    operations are mutex-guarded; recording is cheap enough for
+    per-request and per-candidate use. *)
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  window : float array;  (** ring buffer of recent observations *)
+  mutable filled : int;  (** number of valid cells in [window] *)
+  mutable next : int;  (** ring write cursor *)
+}
+
+type metric =
+  | MCounter of int ref
+  | MGauge of float ref
+  | MHistogram of histogram
+
+type t = {
+  lock : Mutex.t;
+  table : (string, metric) Hashtbl.t;
+  mutable order : string list;  (** registration order, reversed *)
+}
+
+let window_size = 1024
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 32; order = [] }
+
+(** The process-wide registry every engine-side source records into. *)
+let global = create ()
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let get_or_register t name make =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.table name m;
+      t.order <- name :: t.order;
+      m
+
+let incr ?(by = 1) t name =
+  with_lock t (fun () ->
+      match get_or_register t name (fun () -> MCounter (ref 0)) with
+      | MCounter r -> r := !r + by
+      | _ -> invalid_arg (name ^ " is not a counter"))
+
+let set_gauge t name v =
+  with_lock t (fun () ->
+      match get_or_register t name (fun () -> MGauge (ref 0.0)) with
+      | MGauge r -> r := v
+      | _ -> invalid_arg (name ^ " is not a gauge"))
+
+let observe t name v =
+  (* a NaN observation would defeat min/max/percentiles for good *)
+  if not (Float.is_nan v) then
+    with_lock t (fun () ->
+        match
+          get_or_register t name (fun () ->
+              MHistogram
+                {
+                  count = 0;
+                  sum = 0.0;
+                  min_v = infinity;
+                  max_v = neg_infinity;
+                  window = Array.make window_size 0.0;
+                  filled = 0;
+                  next = 0;
+                })
+        with
+        | MHistogram h ->
+            h.count <- h.count + 1;
+            h.sum <- h.sum +. v;
+            if v < h.min_v then h.min_v <- v;
+            if v > h.max_v then h.max_v <- v;
+            h.window.(h.next) <- v;
+            h.next <- (h.next + 1) mod window_size;
+            if h.filled < window_size then h.filled <- h.filled + 1
+        | _ -> invalid_arg (name ^ " is not a histogram"))
+
+let counter_value t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (MCounter r) -> !r
+      | _ -> 0)
+
+let gauge_value t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (MGauge r) -> !r
+      | _ -> 0.0)
+
+(* Nearest-rank percentile over the retained window.  Total: an empty
+   window answers 0. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(** Read-only histogram summary.  An empty histogram is all zeros (not
+    infinities), so any serialization of it stays finite. *)
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let empty_summary =
+  {
+    s_count = 0;
+    s_sum = 0.0;
+    s_mean = 0.0;
+    s_min = 0.0;
+    s_max = 0.0;
+    s_p50 = 0.0;
+    s_p90 = 0.0;
+    s_p99 = 0.0;
+  }
+
+let summary_of_histogram_locked (h : histogram) =
+  if h.count = 0 then empty_summary
+  else begin
+    let sorted = Array.sub h.window 0 h.filled in
+    Array.sort compare sorted;
+    {
+      s_count = h.count;
+      s_sum = h.sum;
+      s_mean = h.sum /. float_of_int h.count;
+      s_min = h.min_v;
+      s_max = h.max_v;
+      s_p50 = percentile sorted 50.0;
+      s_p90 = percentile sorted 90.0;
+      s_p99 = percentile sorted 99.0;
+    }
+  end
+
+(** Summary of a histogram; [None] when no such histogram exists. *)
+let histogram_summary t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (MHistogram h) -> Some (summary_of_histogram_locked h)
+      | _ -> None)
+
+(** One registered metric's current value. *)
+type snap = Counter of int | Gauge of float | Histogram of summary
+
+(** Every metric in registration order. *)
+let snapshot t : (string * snap) list =
+  with_lock t (fun () ->
+      List.rev_map
+        (fun name ->
+          let v =
+            match Hashtbl.find t.table name with
+            | MCounter r -> Counter !r
+            | MGauge r -> Gauge !r
+            | MHistogram h -> Histogram (summary_of_histogram_locked h)
+          in
+          (name, v))
+        t.order)
+
+(** Drop every metric (benchmarks isolate measurement phases with
+    this). *)
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.order <- [])

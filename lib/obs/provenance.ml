@@ -1,0 +1,38 @@
+(** Decision provenance: why a branch point chose the path(s) it did.
+
+    Every branch point records one {!decision} into the flow context —
+    which strategy fired, what it selected, and the analysis evidence
+    it looked at (data-transfer vs CPU time, arithmetic intensity,
+    parallelism facts).  [psaflow explain] renders these; the service
+    surfaces them as the [explain] field of job results, so every
+    generated design answers "why this target?". *)
+
+type decision = {
+  branch : string;  (** branch point name, e.g. "A" *)
+  strategy : string;  (** "fig3", "model_perf", "uninformed", ... *)
+  selected : string list;  (** chosen paths; [[]] means the flow stopped *)
+  reason : string option;  (** stop reason, when [selected = []] *)
+  evidence : (string * Attr.value) list;  (** the facts the strategy saw *)
+}
+
+let selection_to_string d =
+  match (d.selected, d.reason) with
+  | [], Some r -> Printf.sprintf "stop (%s)" r
+  | [], None -> "stop"
+  | ps, _ -> String.concat ", " ps
+
+(** One decision as an indented paragraph: header line plus one
+    [key = value] line per piece of evidence. *)
+let render (d : decision) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "branch %s [%s]: selected %s\n" d.branch d.strategy
+       (selection_to_string d));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s = %s\n" k (Attr.to_display v)))
+    d.evidence;
+  Buffer.contents buf
+
+let render_all ds = String.concat "" (List.map render ds)

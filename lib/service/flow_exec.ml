@@ -27,6 +27,36 @@ let render_report (results : Devices.Simulate.result list) : string =
   in
   table ^ best
 
+let attr_json (v : Flow_obs.Attr.value) : Json.t =
+  match v with
+  | Flow_obs.Attr.Bool b -> Json.Bool b
+  | Flow_obs.Attr.Int i -> Json.Int i
+  | Flow_obs.Attr.Float f ->
+      if Float.is_finite f then Json.Float f
+      else Json.String (Flow_obs.Attr.to_display v)
+  | Flow_obs.Attr.String s -> Json.String s
+
+let decision_json (d : Flow_obs.Provenance.decision) : Json.t =
+  Json.Obj
+    ([
+       ("branch", Json.String d.branch);
+       ("strategy", Json.String d.strategy);
+       ("selected", Json.List (List.map (fun p -> Json.String p) d.selected));
+     ]
+    @ (match d.reason with
+      | Some r -> [ ("reason", Json.String r) ]
+      | None -> [])
+    @ [
+        ( "evidence",
+          Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) d.evidence) );
+      ])
+
+(** The decision provenance of an outcome, as served in the [explain]
+    field of job results ([psaflow explain] renders the same records). *)
+let decisions_json (outcome : Psa.Std_flow.outcome) : Json.t =
+  Json.List
+    (List.map decision_json (Psa.Context.collect_decisions outcome.contexts))
+
 let result_json (r : Devices.Simulate.result) : Json.t =
   Json.Obj
     [
@@ -53,6 +83,7 @@ let outcome_json ~label (s : Protocol.submission)
         | Some b -> Json.String b.design.name
         | None -> Json.Null );
       ("log", Json.List (List.map (fun l -> Json.String l) outcome.log));
+      ("explain", decisions_json outcome);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -77,26 +108,54 @@ let run_outcome (s : Protocol.submission) (ctx : Psa.Context.t) =
         (Psa.Std_flow.flow ~select_a:(Psa.Strategy.model_based ~objective) ())
         { ctx with x_threshold = s.x_threshold; budget = s.budget }
 
+(* The span tracer is one process-wide instance; traced jobs therefore
+   serialize on this mutex so each exported trace covers exactly one
+   job.  Untraced jobs are unaffected (they run concurrently and record
+   nothing while the tracer is idle; a job running concurrently with a
+   traced one contributes spans distinguished by thread id). *)
+let trace_mutex = Mutex.create ()
+
 (** Resolve a submission.  Benchmark lookup and inline MiniC
     parsing/typechecking happen here so the errors surface immediately
     as typed responses; the returned [run] thunk only re-executes work
     already known to succeed up to flow level. *)
 let resolve (s : Protocol.submission) : (resolved, Protocol.error_kind) result =
   let make ~label ~source ~workload (mk_ctx : unit -> Psa.Context.t) =
+    let workload = if s.trace then workload ^ ";trace" else workload in
     let key =
       Store.key ~source
         ~mode:(Protocol.mode_to_string s.mode)
         ~strategy:(Protocol.strategy_to_string s.strategy)
         ~x_threshold:s.x_threshold ~budget:s.budget ~workload
     in
-    let run () =
+    let plain_run () =
       let outcome = run_outcome s (mk_ctx ()) in
       {
         Protocol.report = render_report outcome.results;
         data = outcome_json ~label s outcome;
       }
     in
-    { key; label; run }
+    let traced_run () =
+      Mutex.lock trace_mutex;
+      Fun.protect ~finally:(fun () ->
+          Flow_obs.Trace.stop ();
+          Mutex.unlock trace_mutex)
+      @@ fun () ->
+      Flow_obs.Trace.start ();
+      let outcome =
+        Flow_obs.Trace.with_span ~cat:"service" ("job " ^ label) (fun () ->
+            run_outcome s (mk_ctx ()))
+      in
+      Flow_obs.Trace.stop ();
+      let trace = Json.parse (Flow_obs.Trace.export ~normalize:true ()) in
+      let data =
+        match outcome_json ~label s outcome with
+        | Json.Obj fields -> Json.Obj (fields @ [ ("trace", trace) ])
+        | j -> j
+      in
+      { Protocol.report = render_report outcome.results; data }
+    in
+    { key; label; run = (if s.trace then traced_run else plain_run) }
   in
   match s.source with
   | Protocol.Bench id -> (

@@ -1,134 +1,45 @@
-(** Service metrics registry: named counters, gauges and histograms,
-    serialized through {!Json} for the [metrics] protocol request.
+(** Service metrics — a thin veneer over the process-wide
+    {!Flow_obs.Metrics} registry.
 
-    Histograms keep full-precision summary statistics (count/sum/min/max)
-    plus a bounded ring of recent observations from which percentiles are
-    computed (nearest-rank over the retained window).  All operations are
-    mutex-guarded; recording is cheap enough for per-request use. *)
+    The registry itself (counters, gauges, windowed histograms with
+    nearest-rank percentiles) now lives in [lib/obs] so the flow engine,
+    the DSE sweeps and the interpreter can record into the same
+    process-wide instance the daemon serves; this module re-exports it
+    and adds the {!Json} serialisation the [metrics] protocol request
+    needs. *)
 
-type histogram = {
-  mutable count : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
-  window : float array;  (** ring buffer of recent observations *)
-  mutable filled : int;  (** number of valid cells in [window] *)
-  mutable next : int;  (** ring write cursor *)
-}
+include Flow_obs.Metrics
 
-type metric =
-  | Counter of int ref
-  | Gauge of float ref
-  | Histogram of histogram
-
-type t = {
-  lock : Mutex.t;
-  table : (string, metric) Hashtbl.t;
-  mutable order : string list;  (** registration order, reversed *)
-}
-
-let window_size = 1024
-
-let create () = { lock = Mutex.create (); table = Hashtbl.create 32; order = [] }
-
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
-let get_or_register t name make =
-  match Hashtbl.find_opt t.table name with
-  | Some m -> m
-  | None ->
-      let m = make () in
-      Hashtbl.add t.table name m;
-      t.order <- name :: t.order;
-      m
-
-let incr ?(by = 1) t name =
-  with_lock t (fun () ->
-      match get_or_register t name (fun () -> Counter (ref 0)) with
-      | Counter r -> r := !r + by
-      | _ -> invalid_arg (name ^ " is not a counter"))
-
-let set_gauge t name v =
-  with_lock t (fun () ->
-      match get_or_register t name (fun () -> Gauge (ref 0.0)) with
-      | Gauge r -> r := v
-      | _ -> invalid_arg (name ^ " is not a gauge"))
-
-let observe t name v =
-  with_lock t (fun () ->
-      match
-        get_or_register t name (fun () ->
-            Histogram
-              {
-                count = 0;
-                sum = 0.0;
-                min_v = infinity;
-                max_v = neg_infinity;
-                window = Array.make window_size 0.0;
-                filled = 0;
-                next = 0;
-              })
-      with
-      | Histogram h ->
-          h.count <- h.count + 1;
-          h.sum <- h.sum +. v;
-          if v < h.min_v then h.min_v <- v;
-          if v > h.max_v then h.max_v <- v;
-          h.window.(h.next) <- v;
-          h.next <- (h.next + 1) mod window_size;
-          if h.filled < window_size then h.filled <- h.filled + 1
-      | _ -> invalid_arg (name ^ " is not a histogram"))
-
-let counter_value t name =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.table name with
-      | Some (Counter r) -> !r
-      | _ -> 0)
-
-(* Nearest-rank percentile over the retained window. *)
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-
-let histogram_json (h : histogram) =
+let summary_json (s : Flow_obs.Metrics.summary) : Json.t =
   let open Json in
-  if h.count = 0 then
-    Obj [ ("count", Int 0) ]
+  if s.s_count = 0 then Obj [ ("count", Int 0) ]
   else
-    let sorted = Array.sub h.window 0 h.filled in
-    Array.sort compare sorted;
     Obj
       [
-        ("count", Int h.count);
-        ("sum", Float h.sum);
-        ("mean", Float (h.sum /. float_of_int h.count));
-        ("min", Float h.min_v);
-        ("max", Float h.max_v);
-        ("p50", Float (percentile sorted 50.0));
-        ("p90", Float (percentile sorted 90.0));
-        ("p99", Float (percentile sorted 99.0));
+        ("count", Int s.s_count);
+        ("sum", Float s.s_sum);
+        ("mean", Float s.s_mean);
+        ("min", Float s.s_min);
+        ("max", Float s.s_max);
+        ("p50", Float s.s_p50);
+        ("p90", Float s.s_p90);
+        ("p99", Float s.s_p99);
       ]
 
 (** One object with a field per metric, in registration order.  Extra
     [(name, value)] pairs can be appended by the caller (the server adds
     store/scheduler snapshots this registry does not own). *)
 let to_json ?(extra = []) t : Json.t =
-  with_lock t (fun () ->
-      let fields =
-        List.rev_map
-          (fun name ->
-            let v =
-              match Hashtbl.find t.table name with
-              | Counter r -> Json.Int !r
-              | Gauge r -> Json.Float !r
-              | Histogram h -> histogram_json h
-            in
-            (name, v))
-          t.order
-      in
-      Json.Obj (fields @ extra))
+  let fields =
+    List.map
+      (fun (name, snap) ->
+        let v =
+          match snap with
+          | Flow_obs.Metrics.Counter n -> Json.Int n
+          | Flow_obs.Metrics.Gauge g -> Json.Float g
+          | Flow_obs.Metrics.Histogram s -> summary_json s
+        in
+        (name, v))
+      (snapshot t)
+  in
+  Json.Obj (fields @ extra)

@@ -39,11 +39,12 @@ type submission = {
   strategy : strategy;
   x_threshold : float;
   budget : float option;
+  trace : bool;  (** capture a Chrome trace of the job's execution *)
 }
 
 let submission ?(mode = Informed) ?(strategy = Fig3) ?(x_threshold = 2.0)
-    ?budget source =
-  { source; mode; strategy; x_threshold; budget }
+    ?budget ?(trace = false) source =
+  { source; mode; strategy; x_threshold; budget; trace }
 
 type request =
   | Submit_flow of submission
@@ -156,7 +157,8 @@ let request_to_json = function
             ("strategy", String (strategy_to_string s.strategy));
             ("x_threshold", Float s.x_threshold);
           ]
-        @ opt_field "budget" (fun b -> Float b) s.budget)
+        @ opt_field "budget" (fun b -> Float b) s.budget
+        @ (if s.trace then [ ("trace", Bool true) ] else []))
   | Job_status id ->
       Obj [ ("v", Int version); ("type", String "job_status"); ("job_id", Int id) ]
   | Fetch_result id ->
@@ -268,6 +270,7 @@ let submission_of_json j =
   in
   let* x_threshold = opt "x_threshold" to_float_opt j in
   let* budget = opt "budget" to_float_opt j in
+  let* trace = opt "trace" to_bool_opt j in
   Ok
     {
       source;
@@ -275,6 +278,7 @@ let submission_of_json j =
       strategy = Option.value strategy ~default:Fig3;
       x_threshold = Option.value x_threshold ~default:2.0;
       budget;
+      trace = Option.value trace ~default:false;
     }
 
 let request_of_json j : (request, error_kind) result =

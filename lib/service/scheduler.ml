@@ -75,12 +75,22 @@ let finish_locked t job outcome =
       job.result <- Some r;
       Store.add t.store job.key r;
       Metrics.incr t.metrics "jobs_completed";
+      Flow_obs.Log.debugf "scheduler: job #%d (%s) done" job.id job.label;
       (match (job.started_at, job.finished_at) with
       | Some a, Some b -> Metrics.observe t.metrics "flow_wall_s" (b -. a)
       | _ -> ())
   | Error msg ->
       job.state <- Protocol.Failed msg;
-      Metrics.incr t.metrics "jobs_failed");
+      Metrics.incr t.metrics "jobs_failed";
+      Flow_obs.Log.warnf "scheduler: job #%d (%s) failed: %s" job.id job.label
+        msg);
+  Flow_obs.Trace.instant ~cat:"scheduler" "job.finish"
+    ~args:
+      [
+        ("job_id", Flow_obs.Attr.Int job.id);
+        ( "state",
+          Flow_obs.Attr.String (Protocol.state_to_string job.state) );
+      ];
   Hashtbl.remove t.active_by_key job.key;
   t.running <- t.running - 1;
   Condition.broadcast t.idle
@@ -105,6 +115,9 @@ let worker_loop t =
         t.running <- t.running + 1;
         set_queue_gauge_locked t;
         Mutex.unlock t.lock;
+        Flow_obs.Log.debugf "scheduler: job #%d (%s) running" job.id job.label;
+        Flow_obs.Trace.instant ~cat:"scheduler" "job.start"
+          ~args:[ ("job_id", Flow_obs.Attr.Int job.id) ];
         let outcome =
           match job.run () with
           | r -> Ok r
@@ -152,8 +165,22 @@ let submit t ~key ~label ~mode ~strategy run :
   with_lock t (fun () ->
       if not t.accepting then Error `Shutting_down
       else
+        let submitted disposition (job_id : int) =
+          Flow_obs.Log.debugf "scheduler: job #%d (%s) submitted (%s)" job_id
+            label
+            (Protocol.disposition_to_string disposition);
+          Flow_obs.Trace.instant ~cat:"scheduler" "job.submit"
+            ~args:
+              [
+                ("job_id", Flow_obs.Attr.Int job_id);
+                ( "disposition",
+                  Flow_obs.Attr.String
+                    (Protocol.disposition_to_string disposition) );
+              ];
+          Ok (job_id, disposition)
+        in
         match Hashtbl.find_opt t.active_by_key key with
-        | Some live -> Ok (live.id, `Coalesced)
+        | Some live -> submitted `Coalesced live.id
         | None -> (
             let fresh ~cached ~result ~state =
               t.next_id <- t.next_id + 1;
@@ -178,7 +205,7 @@ let submit t ~key ~label ~mode ~strategy run :
                   fresh ~cached:true ~result:(Some r) ~state:Protocol.Done
                 in
                 Hashtbl.add t.jobs job.id job;
-                Ok (job.id, `Cached)
+                submitted `Cached job.id
             | None ->
                 if Queue.length t.queue >= t.queue_capacity then
                   Error `Queue_full
@@ -191,7 +218,7 @@ let submit t ~key ~label ~mode ~strategy run :
                   Queue.push job t.queue;
                   set_queue_gauge_locked t;
                   Condition.signal t.work;
-                  Ok (job.id, `Fresh)
+                  submitted `Fresh job.id
                 end))
 
 let view_locked (j : job) : Protocol.job_view =

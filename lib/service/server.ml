@@ -45,7 +45,15 @@ let request_counter = function
 let metrics_json t : Json.t =
   let hits, misses = Scheduler.store_stats t.sched in
   Metrics.to_json
-    ~extra:[ ("store_hits", Json.Int hits); ("store_misses", Json.Int misses) ]
+    ~extra:
+      [
+        ("store_hits", Json.Int hits);
+        ("store_misses", Json.Int misses);
+        (* the process-wide engine registry: profile-cache hit/miss/
+           eviction, pool utilisation, interpreter cycles, DSE candidate
+           counts — everything the flow engine records while jobs run *)
+        ("engine", Metrics.to_json Flow_obs.Metrics.global);
+      ]
     t.metrics
 
 (* Closing the listener from a handler thread does not reliably wake a
@@ -128,6 +136,12 @@ let serve ?(config = default_config ()) (addr : Protocol.addr) =
   (* a client disconnecting mid-response must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  (* observability: real timestamps for spans, and thread-unique trace
+     ids (handler/worker systhreads share one domain) *)
+  Flow_obs.Trace.set_clock Unix.gettimeofday;
+  Flow_obs.Trace.set_tid_provider (fun () ->
+      (((Domain.self () : Domain.id) :> int) * 1_000_000)
+      + Thread.id (Thread.self ()));
   (match addr with
   | Protocol.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | Protocol.Tcp _ -> ());
@@ -159,6 +173,8 @@ let serve ?(config = default_config ()) (addr : Protocol.addr) =
       stop_lock = Mutex.create ();
     }
   in
+  Flow_obs.Log.infof "daemon listening on %s (%d workers)"
+    (Protocol.addr_to_string addr) config.workers;
   let rec accept_loop () =
     match Unix.select [ listener; stop_rd ] [] [] (-1.0) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
@@ -166,12 +182,15 @@ let serve ?(config = default_config ()) (addr : Protocol.addr) =
         if List.mem stop_rd readable then ()
         else begin
           (match Unix.accept listener with
-          | fd, _ -> ignore (Thread.create (handle_connection t) fd)
+          | fd, _ ->
+              Flow_obs.Log.debugf "daemon: connection accepted";
+              ignore (Thread.create (handle_connection t) fd)
           | exception Unix.Unix_error _ -> ());
           accept_loop ()
         end
   in
   accept_loop ();
+  Flow_obs.Log.infof "daemon shutting down: draining queued jobs";
   begin_shutdown t;
   (try Unix.close listener with Unix.Unix_error _ -> ());
   (try Unix.close stop_rd with Unix.Unix_error _ -> ());

@@ -14,7 +14,6 @@ dune runtest
 echo "== perf smoke (bench/main.exe perf --quick) =="
 dune exec bench/main.exe -- perf --quick
 
-echo "== service smoke (psaflow serve/submit/svc-metrics) =="
 PSAFLOW=_build/default/bin/psaflow.exe
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/psaflow-check-XXXXXX.sock")
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/psaflow-check-XXXXXX")
@@ -24,6 +23,29 @@ cleanup() {
   rm -rf "$TMP" "$SOCK"
 }
 trap cleanup EXIT INT TERM
+
+echo "== trace & explain smoke (all five benchmarks) =="
+for b in rush_larsen nbody bezier adpredictor kmeans; do
+  # --trace re-parses the export with the service Json parser before
+  # writing and exits non-zero on invalid JSON, so success here means
+  # the document is well-formed
+  "$PSAFLOW" run "$b" --trace "$TMP/$b.trace.json" >/dev/null \
+    || { echo "FAIL: $b: traced run failed"; exit 1; }
+  grep -q '"traceEvents"' "$TMP/$b.trace.json" \
+    || { echo "FAIL: $b: not a Chrome trace document"; exit 1; }
+  for cat in branch analysis dse task; do
+    grep -q "\"cat\":\"$cat\"" "$TMP/$b.trace.json" \
+      || { echo "FAIL: $b: no $cat spans in trace"; exit 1; }
+  done
+  "$PSAFLOW" explain "$b" >"$TMP/$b.explain.txt" \
+    || { echo "FAIL: $b: explain failed"; exit 1; }
+  grep -q 'branch A \[' "$TMP/$b.explain.txt" \
+    || { echo "FAIL: $b: explain reports no branch A decision"; exit 1; }
+  grep -q 'outcome:' "$TMP/$b.explain.txt" \
+    || { echo "FAIL: $b: explain reports no outcome"; exit 1; }
+done
+
+echo "== service smoke (psaflow serve/submit/svc-metrics) =="
 
 "$PSAFLOW" serve --socket "$SOCK" &
 SERVE_PID=$!
@@ -54,6 +76,10 @@ diff "$TMP/direct.txt" "$TMP/svc2.txt" \
 "$PSAFLOW" svc-metrics --socket "$SOCK" >"$TMP/metrics.json"
 grep -q jobs_completed "$TMP/metrics.json" \
   || { echo "FAIL: svc-metrics missing jobs_completed"; exit 1; }
+grep -q '"engine"' "$TMP/metrics.json" \
+  || { echo "FAIL: svc-metrics missing engine registry"; exit 1; }
+grep -q profile_cache "$TMP/metrics.json" \
+  || { echo "FAIL: engine registry missing profile-cache counters"; exit 1; }
 
 # error paths must exit non-zero with a one-line diagnostic
 if "$PSAFLOW" run no-such-benchmark 2>/dev/null; then

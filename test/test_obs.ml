@@ -1,0 +1,389 @@
+(** Tests for the observability library (lib/obs): histogram hardening
+    in the metrics registry, span-tracer determinism and nesting, the
+    decision-provenance records the flow engine emits, and the leveled
+    logger. *)
+
+module Attr = Flow_obs.Attr
+module Log = Flow_obs.Log
+module Trace = Flow_obs.Trace
+module Metrics = Flow_obs.Metrics
+module Provenance = Flow_obs.Provenance
+module Json = Flow_service.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters, gauges, snapshot order                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "reqs";
+  Metrics.incr ~by:4 m "reqs";
+  Metrics.set_gauge m "depth" 3.5;
+  Metrics.set_gauge m "depth" 2.0;
+  check_int "counter accumulates" 5 (Metrics.counter_value m "reqs");
+  check "gauge holds last value" true (Metrics.gauge_value m "depth" = 2.0);
+  check_int "missing counter reads 0" 0 (Metrics.counter_value m "nope");
+  Metrics.observe m "lat" 0.5;
+  check "snapshot preserves registration order" true
+    (List.map fst (Metrics.snapshot m) = [ "reqs"; "depth"; "lat" ]);
+  Metrics.reset m;
+  check "reset empties the registry" true (Metrics.snapshot m = [])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histogram hardening                                        *)
+(* ------------------------------------------------------------------ *)
+
+let finite_summary (s : Metrics.summary) =
+  List.for_all Float.is_finite
+    [ s.s_sum; s.s_mean; s.s_min; s.s_max; s.s_p50; s.s_p90; s.s_p99 ]
+
+let test_histogram_empty () =
+  (* nearest-rank percentile is total: an empty window answers, it does
+     not raise or divide by zero *)
+  check "empty window percentile" true (Metrics.percentile [||] 50.0 = 0.0);
+  check "empty window p99" true (Metrics.percentile [||] 99.0 = 0.0);
+  (* the empty summary is all zeros, never infinities/NaN *)
+  check "empty summary finite" true (finite_summary Metrics.empty_summary);
+  check_int "empty summary count" 0 Metrics.empty_summary.s_count;
+  check "empty summary min is 0, not +inf" true
+    (Metrics.empty_summary.s_min = 0.0);
+  let m = Metrics.create () in
+  check "unregistered histogram has no summary" true
+    (Metrics.histogram_summary m "lat" = None)
+
+let test_histogram_single_sample () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" 0.25;
+  match Metrics.histogram_summary m "lat" with
+  | None -> Alcotest.fail "single-sample histogram has no summary"
+  | Some s ->
+      check_int "count" 1 s.s_count;
+      check "all fields finite" true (finite_summary s);
+      check "p50 = the sample" true (s.s_p50 = 0.25);
+      check "p90 = the sample" true (s.s_p90 = 0.25);
+      check "p99 = the sample" true (s.s_p99 = 0.25);
+      check "min = max = the sample" true (s.s_min = 0.25 && s.s_max = 0.25)
+
+let test_histogram_nan_dropped () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" Float.nan;
+  check "a lone NaN never registers" true
+    (Metrics.histogram_summary m "lat" = None);
+  Metrics.observe m "lat" 1.0;
+  Metrics.observe m "lat" Float.nan;
+  Metrics.observe m "lat" 3.0;
+  match Metrics.histogram_summary m "lat" with
+  | None -> Alcotest.fail "histogram lost"
+  | Some s ->
+      check_int "NaN observations dropped" 2 s.s_count;
+      check "summary stays finite" true (finite_summary s);
+      check "sum unpoisoned" true (s.s_sum = 4.0)
+
+let test_histogram_percentiles () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  match Metrics.histogram_summary m "lat" with
+  | None -> Alcotest.fail "histogram lost"
+  | Some s ->
+      check "p50" true (s.s_p50 = 50.0);
+      check "p90" true (s.s_p90 = 90.0);
+      check "p99" true (s.s_p99 = 99.0);
+      check "mean" true (s.s_mean = 50.5)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer: span mechanics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_basics () =
+  Trace.start ();
+  let r =
+    Trace.with_span ~cat:"t" ~args:[ ("k", Attr.Int 1) ] "outer" (fun () ->
+        Trace.with_span ~cat:"t" "inner" (fun () -> ());
+        Trace.add_args [ ("extra", Attr.Bool true) ];
+        17)
+  in
+  Trace.instant ~cat:"t" "mark";
+  Trace.stop ();
+  check_int "with_span returns f's value" 17 r;
+  let spans = Trace.completed_spans () in
+  check_int "three events recorded" 3 (List.length spans);
+  check_int "count by cat" 3 (Trace.count ~cat:"t" ());
+  check_int "count by name" 1 (Trace.count ~name:"inner" ~cat:"t" ());
+  let find n = List.find (fun s -> s.Trace.sp_name = n) spans in
+  let outer = find "outer" and inner = find "inner" in
+  check "inner nests inside outer" true
+    (outer.Trace.sp_begin < inner.Trace.sp_begin
+    && inner.Trace.sp_end < outer.Trace.sp_end);
+  check "add_args lands on the open span" true
+    (List.mem_assoc "extra" outer.Trace.sp_args
+    && List.mem_assoc "k" outer.Trace.sp_args)
+
+let test_span_closes_on_raise () =
+  Trace.start ();
+  (try Trace.with_span "boom" (fun () -> failwith "deliberate")
+   with Failure _ -> ());
+  Trace.stop ();
+  match Trace.completed_spans () with
+  | [ sp ] ->
+      check "span closed despite the raise" true
+        (sp.Trace.sp_end > sp.Trace.sp_begin)
+  | spans -> Alcotest.failf "expected one span, got %d" (List.length spans)
+
+let test_disabled_records_nothing () =
+  Trace.start ();
+  Trace.stop ();
+  check "disabled" true (not (Trace.is_enabled ()));
+  check_int "disabled with_span is just f ()" 42
+    (Trace.with_span "ghost" (fun () -> 42));
+  Trace.instant "ghost-mark";
+  Trace.add_args [ ("ghost", Attr.Bool true) ];
+  check_int "nothing recorded while disabled" 0
+    (List.length (Trace.completed_spans ()))
+
+let test_export_shape () =
+  Trace.start ();
+  Trace.with_span ~cat:"t" ~args:[ ("q", Attr.String "a\"b") ] "e1" (fun () ->
+      Trace.instant ~cat:"t" "m1");
+  Trace.stop ();
+  let doc = Json.parse (Trace.export ()) in
+  (match Json.member "traceEvents" doc with
+  | Some (Json.List evs) -> check_int "two events" 2 (List.length evs)
+  | _ -> Alcotest.fail "no traceEvents array");
+  (* normalized export: timestamps are the global sequence numbers *)
+  let doc = Json.parse (Trace.export ~normalize:true ()) in
+  match Json.member "traceEvents" doc with
+  | Some (Json.List (first :: _)) ->
+      check "normalized ts is the open seq" true
+        (Json.member "ts" first = Some (Json.Float 1.0));
+      check "normalized dur spans the child instant" true
+        (Json.member "dur" first = Some (Json.Float 2.0))
+  | _ -> Alcotest.fail "no traceEvents array"
+
+(* ------------------------------------------------------------------ *)
+(* Tracer: spans are properly nested (qcheck)                          *)
+(* ------------------------------------------------------------------ *)
+
+type tree = Node of tree list
+
+let rec tree_size (Node kids) =
+  1 + List.fold_left (fun acc k -> acc + tree_size k) 0 kids
+
+let gen_tree =
+  QCheck.Gen.(
+    sized
+      (fix (fun self n ->
+           if n = 0 then return (Node [])
+           else
+             let* kids = list_size (int_bound 3) (self (n / 2)) in
+             return (Node kids))))
+
+let arb_tree =
+  QCheck.make
+    ~print:(fun t -> Printf.sprintf "tree of %d nodes" (tree_size t))
+    gen_tree
+
+let rec exec_tree (Node kids) =
+  Trace.with_span ~cat:"prop" "node" (fun () -> List.iter exec_tree kids)
+
+(* Any execution shape must yield well-formed intervals that pairwise
+   either nest or are disjoint — never partially overlap. *)
+let nesting_prop =
+  Helpers.qtest ~count:100 "span intervals nest or are disjoint" arb_tree
+    (fun t ->
+      Trace.start ();
+      exec_tree t;
+      Trace.stop ();
+      let spans = Trace.completed_spans () in
+      let well_formed s = s.Trace.sp_begin < s.Trace.sp_end in
+      let nest_or_disjoint a b =
+        let ab, ae = (a.Trace.sp_begin, a.Trace.sp_end) in
+        let bb, be = (b.Trace.sp_begin, b.Trace.sp_end) in
+        ae < bb || be < ab (* disjoint *)
+        || (ab < bb && be < ae) (* a contains b *)
+        || (bb < ab && ae < be)
+        (* b contains a *)
+      in
+      List.length spans = tree_size t
+      && List.for_all well_formed spans
+      && List.for_all
+           (fun a ->
+             List.for_all (fun b -> a == b || nest_or_disjoint a b) spans)
+           spans)
+
+(* ------------------------------------------------------------------ *)
+(* Golden trace: a traced flow run is byte-deterministic               *)
+(* ------------------------------------------------------------------ *)
+
+let bezier = List.nth Benchmarks.Registry.all 2 (* smallest benchmark *)
+
+(* One informed flow run under the tracer, pinned to a deterministic
+   execution (one pool worker, cold profile cache), returning the
+   normalized export plus the outcome.  The context is built by the
+   caller: statement ids are assigned by a global parser counter, so
+   byte-determinism holds per parsed workload (each [psaflow run]
+   invocation is a fresh process and parses identically). *)
+let traced_informed_run ctx =
+  let saved = !Dse.Pool.override in
+  Dse.Pool.override := Some 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Dse.Pool.override := saved;
+      Trace.stop ())
+  @@ fun () ->
+  Minic_interp.Profile_cache.clear ();
+  Trace.start ();
+  let outcome = Psa.Std_flow.run_informed ctx in
+  Trace.stop ();
+  (Trace.export ~normalize:true (), outcome)
+
+let test_trace_golden_deterministic () =
+  let ctx = Benchmarks.Bench_app.context bezier in
+  let exp1, _ = traced_informed_run ctx in
+  let exp2, outcome = traced_informed_run ctx in
+  check_str "normalized exports byte-identical across runs" exp1 exp2;
+  (* valid Chrome trace-event JSON with a non-empty event array *)
+  (match Json.member "traceEvents" (Json.parse exp2) with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "export is not a Chrome trace document");
+  (* structural floor: the instrumentation actually fired everywhere *)
+  check "at least one branch decision span" true
+    (Trace.count ~cat:"branch" () >= 1);
+  check "at least three analysis spans" true
+    (Trace.count ~cat:"analysis" () >= 3);
+  check "every DSE candidate traced" true (Trace.count ~cat:"dse" () >= 1);
+  check "task spans present" true (Trace.count ~cat:"task" () >= 1);
+  (* the same run recorded its provenance into the contexts *)
+  let decisions = Psa.Context.collect_decisions outcome.contexts in
+  check "decisions recorded" true (decisions <> []);
+  match
+    List.find_opt
+      (fun (d : Provenance.decision) -> d.branch = "A")
+      decisions
+  with
+  | None -> Alcotest.fail "no branch A decision"
+  | Some d ->
+      check_str "informed branch A uses fig3" "fig3" d.strategy;
+      check "numeric evidence attached" true
+        (List.exists
+           (fun (_, v) -> match v with Attr.Float _ -> true | _ -> false)
+           d.evidence);
+      check "fig3 evidence names the intensity fact" true
+        (List.mem_assoc "flops_per_byte" d.evidence)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_selection_to_string () =
+  let d selected reason =
+    { Provenance.branch = "A"; strategy = "s"; selected; reason; evidence = [] }
+  in
+  check_str "stop with reason" "stop (budget exhausted)"
+    (Provenance.selection_to_string (d [] (Some "budget exhausted")));
+  check_str "bare stop" "stop" (Provenance.selection_to_string (d [] None));
+  check_str "multi-path" "gpu, fpga"
+    (Provenance.selection_to_string (d [ "gpu"; "fpga" ] None))
+
+let test_render () =
+  let d =
+    {
+      Provenance.branch = "A";
+      strategy = "fig3";
+      selected = [ "fpga" ];
+      reason = None;
+      evidence =
+        [ ("compute_bound", Attr.Bool true); ("flops_per_byte", Attr.Float 12.5) ];
+    }
+  in
+  check_str "rendered paragraph"
+    ("branch A [fig3]: selected fpga\n"
+   ^ "  compute_bound            = true\n"
+   ^ "  flops_per_byte           = 12.5\n")
+    (Provenance.render d);
+  check_str "render_all concatenates" (Provenance.render d ^ Provenance.render d)
+    (Provenance.render_all [ d; d ])
+
+(* ------------------------------------------------------------------ *)
+(* Logger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_of_string () =
+  check "debug" true (Log.of_string " DEBUG " = Some Log.Debug);
+  check "warning alias" true (Log.of_string "warning" = Some Log.Warn);
+  check "off alias" true (Log.of_string "off" = Some Log.Quiet);
+  check "info" true (Log.of_string "info" = Some Log.Info);
+  check "unknown" true (Log.of_string "loud" = None)
+
+let test_log_levels_and_sink () =
+  let saved = Log.level () in
+  let got = ref [] in
+  Log.set_sink (fun ~level msg -> got := (level, msg) :: !got);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink Log.default_sink;
+      Log.set_level saved)
+  @@ fun () ->
+  Log.set_level Log.Info;
+  check "info enabled" true (Log.enabled Log.Info);
+  check "debug disabled" true (not (Log.enabled Log.Debug));
+  Log.debugf "dropped %d" 1;
+  Log.infof "kept %d" 2;
+  Log.errorf "kept too";
+  check "level filter applied" true
+    (List.rev !got = [ (Log.Info, "kept 2"); (Log.Error, "kept too") ]);
+  got := [];
+  Log.set_level Log.Quiet;
+  check "quiet silences errors" true (not (Log.enabled Log.Error));
+  Log.errorf "silenced";
+  check "nothing emitted under quiet" true (!got = [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "empty histogram" `Quick test_histogram_empty;
+          Alcotest.test_case "single-sample histogram" `Quick
+            test_histogram_single_sample;
+          Alcotest.test_case "NaN observations dropped" `Quick
+            test_histogram_nan_dropped;
+          Alcotest.test_case "nearest-rank percentiles" `Quick
+            test_histogram_percentiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span basics" `Quick test_span_basics;
+          Alcotest.test_case "span closes on raise" `Quick
+            test_span_closes_on_raise;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "export shape" `Quick test_export_shape;
+          nesting_prop;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "traced flow run is byte-deterministic" `Slow
+            test_trace_golden_deterministic;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "selection rendering" `Quick
+            test_selection_to_string;
+          Alcotest.test_case "paragraph rendering" `Quick test_render;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "of_string" `Quick test_log_of_string;
+          Alcotest.test_case "levels and sink" `Quick test_log_levels_and_sink;
+        ] );
+    ]

@@ -42,7 +42,9 @@ let check_benchmark (b : Benchmarks.Bench_app.t) () =
   Minic_interp.Profile_cache.reset_stats ();
   let cached1 = analyses () in
   let cached2 = analyses () in
-  let hits, misses = Minic_interp.Profile_cache.stats () in
+  let { Minic_interp.Profile_cache.hits; misses; _ } =
+    Minic_interp.Profile_cache.stats ()
+  in
   Alcotest.(check bool) "cached pass 1 = uncached" true (uncached = cached1);
   Alcotest.(check bool) "cached pass 2 = uncached" true (uncached = cached2);
   Alcotest.(check bool)
@@ -100,7 +102,9 @@ int main() {
   Minic_interp.Profile_cache.reset_stats ();
   let r1 = Minic_interp.Profile_cache.run p in
   let r2 = Minic_interp.Profile_cache.run p in
-  let hits, misses = Minic_interp.Profile_cache.stats () in
+  let { Minic_interp.Profile_cache.hits; misses; _ } =
+    Minic_interp.Profile_cache.stats ()
+  in
   Alcotest.(check int) "one miss" 1 misses;
   Alcotest.(check int) "one hit" 1 hits;
   Alcotest.(check string) "same output" r1.output r2.output;

@@ -597,6 +597,63 @@ let test_end_to_end () =
           Alcotest.failf "metrics: %s"
             (Json.to_string (Protocol.response_to_json other)))
 
+(* The [explain] field served by the daemon must be exactly the decision
+   provenance a direct in-process run records, and a traced submission
+   must come back with an embedded Chrome trace document. *)
+let test_explain_and_trace () =
+  with_daemon (fun addr ->
+      let app = List.nth Benchmarks.Registry.all 2 (* bezier: smallest *) in
+      let direct_explain =
+        let ctx = Benchmarks.Bench_app.context ~x_threshold:2.0 app in
+        Flow_exec.decisions_json (Psa.Std_flow.run_informed ~x_threshold:2.0 ctx)
+      in
+      let submit ~trace =
+        match
+          Client.rpc addr
+            (Protocol.Submit_flow
+               (Protocol.submission ~trace (Protocol.Bench app.id)))
+        with
+        | Protocol.Submitted { job_id; _ } -> (
+            match Client.wait_result addr job_id with
+            | Ok (_, r) -> r.Protocol.data
+            | Error e -> Alcotest.fail e)
+        | other ->
+            Alcotest.failf "submit: %s"
+              (Json.to_string (Protocol.response_to_json other))
+      in
+      let plain = submit ~trace:false in
+      (match Json.member "explain" plain with
+      | Some served ->
+          check "daemon explain = direct explain" true
+            (Json.equal served direct_explain);
+          check "explain is non-empty" true
+            (match served with Json.List (_ :: _) -> true | _ -> false)
+      | None -> Alcotest.fail "no explain field in job data");
+      check "untraced job carries no trace" true
+        (Json.member "trace" plain = None);
+      (* tracing changes the store key: this is a fresh execution, not a
+         cache hit on the untraced result *)
+      let traced = submit ~trace:true in
+      (match Json.member "explain" traced with
+      | Some served ->
+          check "traced job explain unchanged" true
+            (Json.equal served direct_explain)
+      | None -> Alcotest.fail "no explain field in traced job data");
+      match Option.bind (Json.member "trace" traced) (Json.member "traceEvents") with
+      | Some (Json.List events) ->
+          check "trace has events" true (events <> []);
+          check "trace covers the whole job" true
+            (List.exists
+               (fun ev ->
+                 Json.member "cat" ev = Some (Json.String "service"))
+               events);
+          check "trace reaches the branch decisions" true
+            (List.exists
+               (fun ev ->
+                 Json.member "cat" ev = Some (Json.String "branch"))
+               events)
+      | _ -> Alcotest.fail "traced job has no embedded trace document")
+
 let test_job_listing_and_unknown_job () =
   with_daemon (fun addr ->
       (match Client.rpc addr (Protocol.Job_status 42) with
@@ -645,5 +702,7 @@ let () =
           Alcotest.test_case "empty daemon" `Quick
             test_job_listing_and_unknown_job;
           Alcotest.test_case "end-to-end vs direct flow" `Slow test_end_to_end;
+          Alcotest.test_case "explain and per-job trace" `Slow
+            test_explain_and_trace;
         ] );
     ]
