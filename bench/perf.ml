@@ -1,17 +1,27 @@
 (** [main.exe perf [--quick]]: the performance trajectory benchmark.
 
-    Measures the three fast-path layers introduced by the slot-compiled
-    interpreter / profile cache / domain pool work and writes the
+    Measures the fast-path layers (threaded-code interpreter, fused
+    single-pass profiling, profile cache, domain pool) and writes the
     numbers to [BENCH_psaflow.json]:
 
-    - interpreter throughput (one profiling run of the heaviest
-      benchmark, modelled virtual cycles per wall second);
+    - interpreter throughput on the heaviest benchmark, before (slot-IR
+      tree walker, {!Minic_interp.Eval.run_ir}) and after (threaded
+      code, {!Minic_interp.Eval.run_compiled}), checking the two produce
+      bit-identical profiles;
     - the repeated-analysis path, cold (cache disabled, every analysis
-      re-interprets) vs cached (all analyses share one instrumented
-      run);
-    - the uninformed 5-benchmark evaluation, sequential and uncached vs
-      pooled and cached, checking that the Fig. 5 / Table I / Fig. 6
-      inputs are bit-identical between the two.
+      re-interprets) vs cached (all analyses project one fused run);
+    - the uninformed 5-benchmark evaluation: cold (sequential, cache
+      cleared), warm sequential, and warm pooled — checking that the
+      Fig. 5 / Table I / Fig. 6 inputs are bit-identical across all
+      three.  On a 1-core container the parallel speedup is ~1x by
+      construction, so the observable pair is [cached_vs_uncached_flow];
+      [cores] is recorded alongside both speedups.
+
+    The engine metrics registry is reset after the micro-bench sections,
+    so the report's "engine" section (notably [interp_runs]) covers
+    exactly the three flow-evaluation legs: the cold leg performs every
+    interpreter execution (one fused run per (benchmark, workload point,
+    focus) request), the warm legs hit the cache.
 
     [--quick] shrinks the repetition counts for CI smoke runs. *)
 
@@ -34,7 +44,8 @@ let repeat n f =
 (* One round of the flow's dynamic analyses on a prepared benchmark:
    hotspot + trip counts on the full program, data in/out + alias +
    features on the extracted kernel.  Uncached, every one of these
-   re-interprets the program. *)
+   re-interprets the program; cached, all five project two fused runs
+   (bare and kernel-focused). *)
 let analysis_round (p, ex_program, kernel) () =
   ignore (Analysis.Hotspot.detect p);
   ignore (Analysis.Trip_count.analyze p);
@@ -63,12 +74,15 @@ let outcome_fingerprint (app : Benchmarks.Bench_app.t)
   in
   app.id ^ "\n" ^ String.concat "\n" (List.map result_line outcome.results)
 
-let uninformed_all () =
+(* The contexts are built (programs parsed) once and shared by the three
+   flow legs: statement ids are allocated per parse, so re-parsing would
+   give every leg textually identical but differently-keyed programs and
+   the cache could never hit across legs. *)
+let uninformed_all contexts () =
   List.map
-    (fun (app : Benchmarks.Bench_app.t) ->
-      outcome_fingerprint app
-        (Psa.Std_flow.run_uninformed (Benchmarks.Bench_app.context app)))
-    Benchmarks.Registry.all
+    (fun ((app : Benchmarks.Bench_app.t), ctx) ->
+      outcome_fingerprint app (Psa.Std_flow.run_uninformed ctx))
+    contexts
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
@@ -78,26 +92,38 @@ let json_out = "BENCH_psaflow.json"
 
 let run ~quick () =
   let reps = if quick then 2 else 5 in
-  (* a clean engine registry: the report's "engine" section then covers
-     exactly this perf run *)
   Flow_obs.Metrics.reset Flow_obs.Metrics.global;
+  let cores = Domain.recommended_domain_count () in
   Printf.printf "== psaflow perf (%s, %d cores recommended) ==\n%!"
     (if quick then "quick" else "full")
-    (Domain.recommended_domain_count ());
+    cores;
 
-  (* -- interpreter throughput ------------------------------------- *)
+  (* -- interpreter throughput: IR walker vs threaded code ----------- *)
   let heavy =
     List.nth Benchmarks.Registry.all 1 (* nbody: float-heavy kernel *)
   in
   let heavy_p = Benchmarks.Bench_app.program heavy ~n:heavy.profile_n in
+  let heavy_ir = Minic_interp.Resolve.compile heavy_p in
   let compiled = Minic_interp.Eval.compile heavy_p in
-  let interp_s, interp_run =
+  let before_s, before_run =
+    time (fun () -> Minic_interp.Eval.run_ir heavy_ir)
+  in
+  let after_s, after_run =
     time (fun () -> Minic_interp.Eval.run_compiled compiled)
   in
-  let mcycles = interp_run.profile.cycles /. 1e6 in
-  Printf.printf "interp   %-12s %8.4f s  (%.1f Mcycles, %.1f Mcycles/s)\n%!"
-    heavy.id interp_s mcycles
-    (mcycles /. interp_s);
+  let threaded_identical =
+    before_run.profile.cycles = after_run.profile.cycles
+    && before_run.output = after_run.output
+  in
+  let mcycles = after_run.profile.cycles /. 1e6 in
+  let before_rate = mcycles /. before_s and after_rate = mcycles /. after_s in
+  Printf.printf
+    "interp   %-12s ir-walker %8.4f s (%.1f Mcycles/s)   threaded %8.4f s \
+     (%.1f Mcycles/s)   speedup %.1fx   outputs identical: %b\n%!"
+    heavy.id before_s before_rate after_s after_rate (before_s /. after_s)
+    threaded_identical;
+  if not threaded_identical then
+    prerr_endline "ERROR: threaded-code profile diverges from the IR walker!";
 
   (* -- repeated-analysis path: cold vs cached ---------------------- *)
   let prepared = prepare heavy in
@@ -116,21 +142,39 @@ let run ~quick () =
     heavy.id cold_s warm_s cache_speedup hits misses cstats.evictions;
 
   (* -- uninformed 5-benchmark evaluation --------------------------- *)
-  let saved_override = !Dse.Pool.override in
-  Minic_interp.Profile_cache.set_enabled false;
-  Dse.Pool.override := Some 1;
-  let seq_s, seq_fp = time uninformed_all in
-  Minic_interp.Profile_cache.set_enabled true;
+  (* Fresh registry + cache from here on: the report's "engine" section
+     covers exactly the three flow legs, so [engine.interp_runs] is the
+     per-cold-flow interpreter execution count the ISSUE bounds. *)
+  Flow_obs.Metrics.reset Flow_obs.Metrics.global;
   Minic_interp.Profile_cache.clear ();
+  Minic_interp.Profile_cache.reset_stats ();
+  let contexts =
+    List.map
+      (fun (app : Benchmarks.Bench_app.t) ->
+        (app, Benchmarks.Bench_app.context app))
+      Benchmarks.Registry.all
+  in
+  let saved_override = !Dse.Pool.override in
+  (* cold: sequential, cache enabled but empty — every fused request is
+     interpreted exactly once, inside the timed region *)
+  Dse.Pool.override := Some 1;
+  let cold_flow_s, cold_fp = time (uninformed_all contexts) in
+  (* warm sequential: same work, all fused requests hit the cache — the
+     cached-vs-uncached pair observable regardless of core count *)
+  let warm_seq_s, warm_seq_fp = time (uninformed_all contexts) in
   Dse.Pool.override := saved_override;
   let jobs = Dse.Pool.jobs () in
-  let par_s, par_fp = time uninformed_all in
-  let identical = seq_fp = par_fp in
-  let flow_speedup = seq_s /. par_s in
+  (* warm parallel: the pooled path the service uses *)
+  let warm_par_s, warm_par_fp = time (uninformed_all contexts) in
+  let identical = cold_fp = warm_seq_fp && warm_seq_fp = warm_par_fp in
+  let cached_speedup = cold_flow_s /. warm_seq_s in
+  let flow_speedup = cold_flow_s /. warm_par_s in
+  let fstats = Minic_interp.Profile_cache.stats () in
   Printf.printf
-    "flow     5 benchmarks  sequential+uncached %.4f s   %d-job+cached %.4f \
-     s   speedup %.1fx   outputs identical: %b\n%!"
-    seq_s jobs par_s flow_speedup identical;
+    "flow     5 benchmarks  cold+sequential %.4f s   cached+sequential %.4f s \
+     (%.1fx)   cached+%d-job %.4f s (%.1fx, %d cores)   outputs identical: %b\n%!"
+    cold_flow_s warm_seq_s cached_speedup jobs warm_par_s flow_speedup cores
+    identical;
   if not identical then
     prerr_endline "ERROR: parallel/cached outputs diverge from sequential!";
 
@@ -141,15 +185,27 @@ let run ~quick () =
       [
         ("bench", String "psaflow-perf");
         ("quick", Bool quick);
-        ("cores", Int (Domain.recommended_domain_count ()));
+        ("cores", Int cores);
         ("jobs", Int jobs);
         ( "interp",
           Obj
             [
               ("benchmark", String heavy.id);
-              ("run_s", Float interp_s);
               ("virtual_mcycles", Float mcycles);
-              ("mcycles_per_s", Float (mcycles /. interp_s));
+              ( "ir_walker",
+                Obj
+                  [
+                    ("run_s", Float before_s);
+                    ("mcycles_per_s", Float before_rate);
+                  ] );
+              ( "threaded",
+                Obj
+                  [
+                    ("run_s", Float after_s);
+                    ("mcycles_per_s", Float after_rate);
+                  ] );
+              ("speedup", Float (before_s /. after_s));
+              ("outputs_identical", Bool threaded_identical);
             ] );
         ( "cache",
           Obj
@@ -167,14 +223,28 @@ let run ~quick () =
           Obj
             [
               ("benchmarks", Int (List.length Benchmarks.Registry.all));
-              ("sequential_uncached_s", Float seq_s);
-              ("parallel_cached_s", Float par_s);
+              ("cores", Int cores);
+              ("jobs", Int jobs);
+              ("sequential_uncached_s", Float cold_flow_s);
+              ("cached_sequential_s", Float warm_seq_s);
+              ("parallel_cached_s", Float warm_par_s);
+              (* parallel speedup is bounded by [cores]; on a 1-core
+                 container it is ~1x by construction *)
               ("speedup", Float flow_speedup);
+              ( "cached_vs_uncached_flow",
+                Obj
+                  [
+                    ("uncached_s", Float cold_flow_s);
+                    ("cached_s", Float warm_seq_s);
+                    ("speedup", Float cached_speedup);
+                  ] );
+              ("cache_hits", Int fstats.hits);
+              ("cache_misses", Int fstats.misses);
               ("outputs_identical", Bool identical);
             ] );
-        (* the process-wide engine registry: profile-cache hit/miss/
-           eviction, pool utilisation, interpreter cycles, DSE candidate
-           counts accrued over this whole perf run *)
+        (* the engine registry as reset before the flow legs:
+           [interp_runs] is the cold flow's interpreter execution count
+           (the warm legs add cache hits only) *)
         ("engine", Flow_service.Metrics.to_json Flow_obs.Metrics.global);
       ]
   in
@@ -182,4 +252,4 @@ let run ~quick () =
   output_string oc (Flow_service.Json.to_string_pretty json);
   close_out oc;
   Printf.printf "wrote %s\n%!" json_out;
-  if not identical then exit 1
+  if not (identical && threaded_identical) then exit 1

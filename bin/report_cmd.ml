@@ -162,6 +162,45 @@ let print_text data =
 
 let opt_float = function Some v -> Json.Float v | None -> Json.Null
 
+(* ------------------------------------------------------------------ *)
+(* Performance section                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** The committed performance numbers ([BENCH_psaflow.json], written by
+    [bench/main.exe perf]), distilled to what a report consumer needs:
+    the core count both speedups were measured on, the parallel flow
+    speedup (bounded by [cores]) and the cached-vs-uncached wall-clock
+    pair (meaningful regardless of core count).  [None] — and omitted
+    from the report — when the file is absent or unreadable. *)
+let perf_section () : Json.t option =
+  let ( let* ) = Option.bind in
+  let* text =
+    try
+      let ic = open_in "BENCH_psaflow.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+    with Sys_error _ -> None
+  in
+  let* bench =
+    match Json.parse_result text with Ok j -> Some j | Error _ -> None
+  in
+  let* flow = Json.member "flow" bench in
+  let pick obj name = Option.value ~default:Json.Null (Json.member name obj) in
+  Some
+    (Json.Obj
+       [
+         ("source", Json.String "BENCH_psaflow.json");
+         ("cores", pick bench "cores");
+         ("jobs", pick bench "jobs");
+         ("sequential_uncached_s", pick flow "sequential_uncached_s");
+         ("parallel_cached_s", pick flow "parallel_cached_s");
+         (* parallel speedup: bounded by [cores], ~1x on one core *)
+         ("flow_speedup", pick flow "speedup");
+         ("cached_vs_uncached_flow", pick flow "cached_vs_uncached_flow");
+         ("outputs_identical", pick flow "outputs_identical");
+       ])
+
 let json_of_data data : Json.t =
   let fig5 =
     List.map
@@ -232,11 +271,12 @@ let json_of_data data : Json.t =
       (fig6_times data)
   in
   Json.Obj
-    [
-      ("fig5", Json.List fig5);
-      ("table1", Json.List table1);
-      ("fig6", Json.List fig6);
-    ]
+    ([
+       ("fig5", Json.List fig5);
+       ("table1", Json.List table1);
+       ("fig6", Json.List fig6);
+     ]
+    @ match perf_section () with Some p -> [ ("perf", p) ] | None -> [])
 
 let run ~json () =
   let data = collect () in

@@ -59,13 +59,18 @@ let of_kernel_obs ~kernel (k : Minic_interp.Profile.kernel_obs) : t =
   pairs args;
   { kernel; no_alias = !overlaps = []; overlaps = List.rev !overlaps }
 
-(** Run the alias analysis on calls to [kernel] in [p]. *)
+(** Project the alias verdict out of a fused profile (focused on the
+    kernel). *)
+let of_fused (fp : Minic_interp.Fused_profile.t) ~kernel : t =
+  match Minic_interp.Fused_profile.kernel_obs fp with
+  | None -> { kernel; no_alias = true; overlaps = [] }
+  | Some k -> of_kernel_obs ~kernel k
+
+(** Run the alias analysis on calls to [kernel] in [p] (one shared fused
+    profiling run). *)
 let analyze (p : Ast.program) ~kernel : t =
   Flow_obs.Trace.with_span ~cat:"analysis" "analysis.alias"
     ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
   @@ fun () ->
   Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_alias";
-  let run = Minic_interp.Profile_cache.run ~focus:kernel p in
-  match run.profile.kernel with
-  | None -> { kernel; no_alias = true; overlaps = [] }
-  | Some k -> of_kernel_obs ~kernel k
+  of_fused (Minic_interp.Fused_profile.get ~focus:kernel p) ~kernel

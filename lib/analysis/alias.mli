@@ -22,5 +22,8 @@ type t = {
 (** Analyse already-collected kernel observations. *)
 val of_kernel_obs : kernel:string -> Minic_interp.Profile.kernel_obs -> t
 
+(** Project the alias verdict out of a kernel-focused fused profile. *)
+val of_fused : Minic_interp.Fused_profile.t -> kernel:string -> t
+
 (** Run the program with [kernel] as focus and analyse. *)
 val analyze : Ast.program -> kernel:string -> t

@@ -31,14 +31,29 @@ let total t = t.total_in + t.total_out
 let bytes_per_call t =
   if t.calls = 0 then 0.0 else float_of_int (total t) /. float_of_int t.calls
 
-(** Analyse data movement of calls to [kernel] in [p]. *)
-let analyze (p : Ast.program) ~kernel : t =
-  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.data_inout"
-    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
-  @@ fun () ->
-  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_data_inout";
-  let run = Minic_interp.Profile_cache.run ~focus:kernel p in
-  match run.profile.kernel with
+(** Project the data-movement record out of kernel observations. *)
+let of_kernel_obs ~kernel (k : Minic_interp.Profile.kernel_obs) : t =
+  let args =
+    Array.to_list k.args
+    |> List.map (fun (a : Minic_interp.Profile.arg_obs) ->
+           { name = a.arg_name; bytes_in = a.bytes_in; bytes_out = a.bytes_out })
+  in
+  let total_in = List.fold_left (fun acc a -> acc + a.bytes_in) 0 args in
+  let total_out = List.fold_left (fun acc a -> acc + a.bytes_out) 0 args in
+  {
+    kernel;
+    calls = k.calls;
+    args;
+    total_in;
+    total_out;
+    kernel_cycles = k.k_cycles;
+    kernel_flops = k.k_flops;
+  }
+
+(** Project the data-movement record out of a fused profile (focused on
+    the kernel). *)
+let of_fused (fp : Minic_interp.Fused_profile.t) ~kernel : t =
+  match Minic_interp.Fused_profile.kernel_obs fp with
   | None ->
       {
         kernel;
@@ -49,23 +64,16 @@ let analyze (p : Ast.program) ~kernel : t =
         kernel_cycles = 0.0;
         kernel_flops = 0;
       }
-  | Some k ->
-      let args =
-        Array.to_list k.args
-        |> List.map (fun (a : Minic_interp.Profile.arg_obs) ->
-               { name = a.arg_name; bytes_in = a.bytes_in; bytes_out = a.bytes_out })
-      in
-      let total_in = List.fold_left (fun acc a -> acc + a.bytes_in) 0 args in
-      let total_out = List.fold_left (fun acc a -> acc + a.bytes_out) 0 args in
-      {
-        kernel;
-        calls = k.calls;
-        args;
-        total_in;
-        total_out;
-        kernel_cycles = k.k_cycles;
-        kernel_flops = k.k_flops;
-      }
+  | Some k -> of_kernel_obs ~kernel k
+
+(** Analyse data movement of calls to [kernel] in [p] (one shared fused
+    profiling run). *)
+let analyze (p : Ast.program) ~kernel : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.data_inout"
+    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_data_inout";
+  of_fused (Minic_interp.Fused_profile.get ~focus:kernel p) ~kernel
 
 let pp fmt t =
   Format.fprintf fmt

@@ -22,6 +22,13 @@ val total : t -> int
 (** Bytes moved per kernel invocation. *)
 val bytes_per_call : t -> float
 
+(** Project data movement of calls to [kernel] out of already-collected
+    kernel observations. *)
+val of_kernel_obs : kernel:string -> Minic_interp.Profile.kernel_obs -> t
+
+(** Project data movement out of a kernel-focused fused profile. *)
+val of_fused : Minic_interp.Fused_profile.t -> kernel:string -> t
+
 (** Analyse data movement of calls to [kernel]. *)
 val analyze : Ast.program -> kernel:string -> t
 

@@ -202,22 +202,16 @@ let gather_info (p : Ast.program) kernel =
 (* Assembly                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(** Run the full target-independent analysis battery on the extracted
-    kernel [kernel] of program [p] and assemble the feature vector.
-
-    Performs one focused profiling run (data in/out, alias, trip counts,
-    kernel cost) plus the static analyses (dependence, intensity,
-    op census, register estimate). *)
-let analyze (p : Ast.program) ~kernel : t =
-  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.features"
-    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
-  @@ fun () ->
-  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_features";
-  let run = Minic_interp.Profile_cache.run ~focus:kernel p in
-  let prof = run.profile in
+(** Assemble the feature vector from a fused profile (focused on the
+    kernel): pure projection of the dynamic observations (data in/out,
+    alias, trip counts, kernel cost) plus the static analyses
+    (dependence, intensity, op census, register estimate). *)
+let of_fused (fp : Minic_interp.Fused_profile.t) ~kernel : t =
+  let p = fp.Minic_interp.Fused_profile.source in
+  let prof = Minic_interp.Fused_profile.profile fp in
   let trips = Trip_count.of_profile prof in
   let kobs =
-    match prof.kernel with
+    match Minic_interp.Fused_profile.kernel_obs fp with
     | Some k -> k
     | None ->
         Minic_interp.Value.err
@@ -391,6 +385,16 @@ let analyze (p : Ast.program) ~kernel : t =
     intensity = Intensity.analyze p kernel;
     no_alias = alias.no_alias;
   }
+
+(** Run the full target-independent analysis battery on the extracted
+    kernel [kernel] of program [p] and assemble the feature vector: one
+    shared fused profiling run, then a pure projection. *)
+let analyze (p : Ast.program) ~kernel : t =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.features"
+    ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_features";
+  of_fused (Minic_interp.Fused_profile.get ~focus:kernel p) ~kernel
 
 (** Total single-thread CPU seconds of the hotspot over the whole run —
     the Fig. 5 baseline denominator. *)

@@ -1,9 +1,16 @@
 (** Hotspot loop detection — dynamic design-flow task.
 
-    Mirrors the paper: the task instruments candidate loops with loop
-    timers ([__timer_start]/[__timer_stop] calls around each loop),
-    executes the instrumented code, and identifies the most
-    time-consuming loop as the acceleration candidate.
+    Mirrors the paper: the task executes the program and identifies the
+    most time-consuming loop as the acceleration candidate.  The paper's
+    implementation wraps candidate loops in timers
+    ([__timer_start]/[__timer_stop]) and runs the instrumented copy;
+    here detection projects the interpreter's own per-loop cycle
+    accounting out of the shared fused profile ({!Minic_interp.Fused_profile}),
+    which measures exactly what the timers would — the timer calls carry
+    zero virtual-cycle cost, so [timer_total sid] of an instrumented run
+    equals [loop_stat sid].cycles of the bare run bit-for-bit (asserted
+    by the test suite).  The instrumentation helpers remain available
+    ({!instrument}) for the reference comparison.
 
     Selection starts at the most expensive outermost loop of [main] and
     descends while the current loop is not parallelisable (per the static
@@ -18,6 +25,12 @@ open Minic
 
 type t = {
   loop_sid : int;  (** node id of the hotspot loop in the original AST *)
+  ordinal : int;
+      (** position of the loop in the pre-order {!candidates} list of
+          [func_name] — node ids are globally allocated per parse, so
+          the ordinal (not the id) is what identifies "the same loop" in
+          another parse of the same source template, e.g. the
+          secondary-workload-size copy *)
   func_name : string;  (** function containing the loop *)
   cycles : float;  (** virtual cycles spent in the loop (inclusive) *)
   total_cycles : float;  (** whole-program cycles *)
@@ -37,27 +50,24 @@ let descend_threshold = 0.5
 let candidates ?(func = "main") (p : Ast.program) =
   Artisan.Query.(stmts_in ~where:is_for p func)
 
-(** Instrument each candidate loop with a timer keyed by its node id. *)
+(** Instrument each candidate loop with a timer keyed by its node id
+    (the paper's mechanism — kept as the reference the fused projection
+    is checked against). *)
 let instrument ?func (p : Ast.program) =
   List.fold_left
     (fun acc (m : Artisan.Query.match_ctx) ->
       Artisan.Instrument.wrap_with_timer ~target:m.stmt.sid ~key:m.stmt.sid acc)
     p (candidates ?func p)
 
-(** Detect the hotspot loop of [p] by instrumented execution.
+(** Project the hotspot loop out of a fused profile of the program.
     Returns [None] when [func] contains no loop. *)
-let detect ?(func = "main") (p : Ast.program) : t option =
-  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.hotspot"
-    ~args:[ ("function", Flow_obs.Attr.String func) ]
-  @@ fun () ->
-  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_hotspot";
+let of_fused ?(func = "main") (fp : Minic_interp.Fused_profile.t) : t option =
+  let p = fp.Minic_interp.Fused_profile.source in
   let cands = candidates ~func p in
   if cands = [] then None
   else
-    let instrumented = instrument ~func p in
-    let run = Minic_interp.Profile_cache.run instrumented in
-    let total_cycles = run.profile.cycles in
-    let cycles_of sid = Minic_interp.Profile.timer_total run.profile sid in
+    let total_cycles = Minic_interp.Fused_profile.total_cycles fp in
+    let cycles_of sid = Minic_interp.Fused_profile.loop_cycles fp sid in
     (* direct loop children: candidate whose nearest enclosing loop is the
        given loop *)
     let nearest_enclosing_loop (m : Artisan.Query.match_ctx) =
@@ -95,19 +105,39 @@ let detect ?(func = "main") (p : Ast.program) : t option =
         in
         let chosen, skipped = descend start [] in
         let cycles = cycles_of chosen.stmt.sid in
-        Flow_obs.Trace.add_args
-          [
-            ("loop_sid", Flow_obs.Attr.Int chosen.stmt.sid);
-            ( "share",
-              Flow_obs.Attr.Float
-                (if total_cycles > 0.0 then cycles /. total_cycles else 0.0) );
-          ];
+        let ordinal =
+          let rec find i = function
+            | [] -> 0
+            | (m : Artisan.Query.match_ctx) :: rest ->
+                if m.stmt.sid = chosen.stmt.sid then i else find (i + 1) rest
+          in
+          find 0 cands
+        in
         Some
           {
             loop_sid = chosen.stmt.sid;
+            ordinal;
             func_name = chosen.func.fname;
             cycles;
             total_cycles;
             share = (if total_cycles > 0.0 then cycles /. total_cycles else 0.0);
             descended_from = List.rev skipped;
           }
+
+(** Detect the hotspot loop of [p]: one shared fused profiling run, then
+    a pure projection.  Returns [None] when [func] contains no loop. *)
+let detect ?(func = "main") (p : Ast.program) : t option =
+  Flow_obs.Trace.with_span ~cat:"analysis" "analysis.hotspot"
+    ~args:[ ("function", Flow_obs.Attr.String func) ]
+  @@ fun () ->
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_hotspot";
+  let result = of_fused ~func (Minic_interp.Fused_profile.get p) in
+  (match result with
+  | Some h ->
+      Flow_obs.Trace.add_args
+        [
+          ("loop_sid", Flow_obs.Attr.Int h.loop_sid);
+          ("share", Flow_obs.Attr.Float h.share);
+        ]
+  | None -> ());
+  result

@@ -1,14 +1,23 @@
 (** Hotspot loop detection — dynamic design-flow task.
 
-    Instruments candidate loops with timers, executes the program, and
-    identifies the most time-consuming loop as the acceleration
-    candidate, descending through sequential driver loops (convergence
-    iterations, ODE timestepping) to the parallel work loop inside. *)
+    Executes the program (one shared fused profiling run, see
+    {!Minic_interp.Fused_profile}) and identifies the most
+    time-consuming loop as the acceleration candidate, descending
+    through sequential driver loops (convergence iterations, ODE
+    timestepping) to the parallel work loop inside.  Detection projects
+    the interpreter's per-loop cycle accounting, which measures
+    bit-identically what the paper's timer instrumentation would; the
+    instrumentation helper ({!instrument}) is kept as the reference the
+    projection is tested against. *)
 
 open Minic
 
 type t = {
   loop_sid : int;  (** node id of the hotspot loop in the original AST *)
+  ordinal : int;
+      (** position of the loop in the pre-order {!candidates} list of
+          [func_name]; identifies "the same loop" in another parse of
+          the same source template (node ids are per-parse) *)
   func_name : string;
   cycles : float;  (** virtual cycles spent in the loop (inclusive) *)
   total_cycles : float;
@@ -25,9 +34,14 @@ val descend_threshold : float
 (** All candidate loops of [func] (default ["main"]), any depth. *)
 val candidates : ?func:string -> Ast.program -> Artisan.Query.match_ctx list
 
-(** Instrument each candidate loop with a timer keyed by its node id. *)
+(** Instrument each candidate loop with a timer keyed by its node id
+    (the paper's mechanism — reference for the fused projection). *)
 val instrument : ?func:string -> Ast.program -> Ast.program
 
-(** Detect the hotspot loop by instrumented execution; [None] when the
-    function contains no loop. *)
+(** Project the hotspot loop out of a fused profile of the program;
+    [None] when the function contains no loop. *)
+val of_fused : ?func:string -> Minic_interp.Fused_profile.t -> t option
+
+(** Detect the hotspot loop (one shared fused profiling run, then a pure
+    projection); [None] when the function contains no loop. *)
 val detect : ?func:string -> Ast.program -> t option

@@ -38,12 +38,16 @@ let of_profile (prof : Minic_interp.Profile.t) : t =
     prof.loops;
   out
 
-(** Run the program and collect trip counts of every loop. *)
+(** Project the trip counts out of a fused profile. *)
+let of_fused (fp : Minic_interp.Fused_profile.t) : t =
+  of_profile (Minic_interp.Fused_profile.profile fp)
+
+(** Run the program (one shared fused profiling run) and collect trip
+    counts of every loop. *)
 let analyze (p : Ast.program) : t =
   Flow_obs.Trace.with_span ~cat:"analysis" "analysis.trip_count" @@ fun () ->
   Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_trip_count";
-  let run = Minic_interp.Profile_cache.run p in
-  of_profile run.profile
+  of_fused (Minic_interp.Fused_profile.get p)
 
 let find (t : t) sid = Hashtbl.find_opt t sid
 

@@ -19,6 +19,9 @@ type t = (int, stat) Hashtbl.t
 (** Extract trip counts from an existing profile. *)
 val of_profile : Minic_interp.Profile.t -> t
 
+(** Project trip counts out of a fused profile. *)
+val of_fused : Minic_interp.Fused_profile.t -> t
+
 (** Run the program and collect trip counts of every loop. *)
 val analyze : Ast.program -> t
 

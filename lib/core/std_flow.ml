@@ -6,9 +6,9 @@
     again (B, C) into device-specific optimisation + DSE before
     finalising timed designs.
 
-    Dynamic analyses share one instrumented profiling pass per program
-    size (the features cache), exactly as the paper's tasks share
-    instrumented executions. *)
+    Dynamic analyses share one fused profiling pass per (program size,
+    focus) request — see {!Minic_interp.Fused_profile} — exactly as the
+    paper's tasks share instrumented executions. *)
 
 open Context
 
@@ -32,6 +32,29 @@ let prepare_kernel (p : Minic.Ast.program) =
       in
       (program, ex.kernel_name, h)
 
+(** Like {!prepare_kernel} with the hotspot already known — used to
+    reuse the profile-size hotspot decision on the secondary-size copy
+    instead of re-profiling it just to re-derive the same loop.  Loop
+    node ids are allocated globally per parse, so the decision transfers
+    by the hotspot's pre-order ordinal, which is stable across parses of
+    the same source template. *)
+let prepare_kernel_at (p : Minic.Ast.program) ~(hotspot : Analysis.Hotspot.t) =
+  let cands = Analysis.Hotspot.candidates ~func:hotspot.func_name p in
+  match List.nth_opt cands hotspot.ordinal with
+  | None ->
+      raise
+        (Transforms.Extract.Not_extractable
+           (Printf.sprintf "hotspot ordinal %d out of range" hotspot.ordinal))
+  | Some m ->
+      let ex =
+        Transforms.Extract.hotspot p ~loop_sid:m.Artisan.Query.stmt.sid
+      in
+      let program, _ =
+        Transforms.Reduction.remove_array_dependencies ex.program
+          ~kernel:ex.kernel_name
+      in
+      (program, ex.kernel_name)
+
 (** Compute (and cache) kernel features, extrapolating to the evaluation
     scale when the context carries a secondary profile size. *)
 let ensure_features (ctx : Context.t) : Context.t =
@@ -51,7 +74,22 @@ let ensure_features (ctx : Context.t) : Context.t =
                   [
                     (fun () -> Analysis.Features.analyze ctx.program ~kernel);
                     (fun () ->
-                      let p2', _, _ = prepare_kernel p2 in
+                      (* reuse the profile-size hotspot decision on the
+                         secondary copy (same source template, same loop
+                         ordinal) instead of re-profiling it.  Falls
+                         back to a fresh detection if the transfer is
+                         structurally impossible. *)
+                      let p2' =
+                        match ctx.hotspot with
+                        | Some h -> (
+                            try fst (prepare_kernel_at p2 ~hotspot:h)
+                            with Transforms.Extract.Not_extractable _ ->
+                              let p2', _, _ = prepare_kernel p2 in
+                              p2')
+                        | None ->
+                            let p2', _, _ = prepare_kernel p2 in
+                            p2'
+                      in
                       Analysis.Features.analyze p2' ~kernel);
                   ]
               with

@@ -23,13 +23,9 @@
     [None] = auto. *)
 let override : int option ref = ref None
 
-let env_jobs () =
-  match Sys.getenv_opt "PSAFLOW_JOBS" with
-  | None -> None
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some j when j >= 1 -> Some j
-      | _ -> None)
+(* Zero/negative values clamp to 1 (sequential) with a once-per-process
+   warning instead of being silently ignored. *)
+let env_jobs () = Flow_obs.Env.int_opt ~name:"PSAFLOW_JOBS" ~min:1 ()
 
 (** The worker count a [map] will use right now. *)
 let jobs () =

@@ -3,7 +3,17 @@
     Executes a program from [main], charging virtual cycles per
     {!Profile.Cost} and recording the observations the dynamic
     design-flow tasks consume.  Deterministic: repeated runs (including
-    of instrumented variants) see identical pseudo-random inputs. *)
+    of instrumented variants) see identical pseudo-random inputs.
+
+    Programs are slot-compiled (see {!Resolve}) and then compiled once
+    more to {e threaded code}: pre-bound closures, one per statement and
+    expression node, so the hot loop performs no per-statement
+    constructor dispatch.  Two variants exist per program — a non-focus
+    fast path with no kernel-tracking test on memory accesses, and a
+    focus-tracking variant — compiled lazily on first use.  The original
+    tree walker over the slot IR is kept as {!run_ir}, the semantic
+    reference the test suite checks the threaded code against,
+    bit-identically. *)
 
 (** Result of running a program. *)
 type run = {
@@ -11,6 +21,10 @@ type run = {
   output : string;  (** everything printed by [print_int]/[print_float] *)
   return_value : Value.t;
 }
+
+(** A threaded-code program: the slot IR plus its lazily compiled
+    closure variants. *)
+type compiled
 
 (** Run [program] from [main].
 
@@ -22,10 +36,18 @@ type run = {
       integer division by zero, fuel exhaustion, missing [main], ...) *)
 val run : ?focus:string -> ?fuel:int -> Minic.Ast.program -> run
 
-(** Slot-compile a program once (see {!Resolve}); the result can be
-    executed many times with {!run_compiled} without re-resolving. *)
-val compile : Minic.Ast.program -> Resolve.t
+(** Compile a program to threaded code once; the result can be executed
+    many times with {!run_compiled} without re-resolving or
+    re-compiling. *)
+val compile : Minic.Ast.program -> compiled
 
 (** Run an already-compiled program from [main].  Equivalent to {!run}
     on the source program. *)
-val run_compiled : ?focus:string -> ?fuel:int -> Resolve.t -> run
+val run_compiled : ?focus:string -> ?fuel:int -> compiled -> run
+
+(** Run the slot IR through the reference tree walker (the
+    pre-threaded-code interpreter).  Profiles, outputs and error points
+    are bit-identical to {!run_compiled}; counted under the
+    [interp_ir_runs] metric instead of [interp_runs].  Exists for
+    bit-identity testing and before/after benchmarking. *)
+val run_ir : ?focus:string -> ?fuel:int -> Resolve.t -> run

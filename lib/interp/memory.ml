@@ -2,9 +2,15 @@
 
     Each array declaration allocates a [region]; pointers are (region id,
     offset) pairs.  Regions remember their element type so the profiler can
-    charge the correct number of bytes per access, and optionally carry an
-    access-state map used by the data-in/out analysis to classify each
-    element's first access inside the kernel. *)
+    charge the correct number of bytes per access.
+
+    Region ids are small sequential integers, so the id -> region table is
+    a growable array indexed directly by id — the per-access [Hashtbl]
+    lookup of the original implementation was the single hottest
+    operation of a profiling run (every load/store consulted it up to
+    three times: value access, byte accounting, focus tracking).  The
+    interpreter fetches the region record once per access and reads
+    everything it needs from it. *)
 
 type region = {
   id : int;
@@ -15,18 +21,26 @@ type region = {
 }
 
 type t = {
-  mutable regions : region list;
+  mutable regions : region array;  (** index = region id, for id < next_id *)
   mutable next_id : int;
-  tbl : (int, region) Hashtbl.t;
 }
 
-let create () = { regions = []; next_id = 0; tbl = Hashtbl.create 32 }
+let create () = { regions = [||]; next_id = 0 }
 
 (** Allocate a region of [n] elements of type [elem_typ], zero-filled. *)
 let alloc t ~name ~elem_typ n =
   if n < 0 then Value.err "negative array size %d for '%s'" n name;
   let id = t.next_id in
-  t.next_id <- id + 1;
+  let cap = Array.length t.regions in
+  if id >= cap then begin
+    let grown =
+      Array.make
+        (max 8 (2 * cap))
+        { id = -1; name = ""; elem_typ; elem_bytes = 0; data = [||] }
+    in
+    Array.blit t.regions 0 grown 0 cap;
+    t.regions <- grown
+  end;
   let region =
     {
       id;
@@ -36,14 +50,13 @@ let alloc t ~name ~elem_typ n =
       data = Array.make n (Value.zero_of_typ elem_typ);
     }
   in
-  t.regions <- region :: t.regions;
-  Hashtbl.replace t.tbl id region;
+  t.regions.(id) <- region;
+  t.next_id <- id + 1;
   Value.VPtr { mem_id = id; off = 0 }
 
 let region t id =
-  match Hashtbl.find_opt t.tbl id with
-  | Some r -> r
-  | None -> Value.err "dangling pointer (region %d)" id
+  if id >= 0 && id < t.next_id then Array.unsafe_get t.regions id
+  else Value.err "dangling pointer (region %d)" id
 
 let load t (p : Value.ptr) =
   let r = region t p.mem_id in

@@ -1,22 +1,21 @@
 (** Shared profile cache.
 
     Every dynamic design-flow task (hotspot detection, trip counts, data
-    in/out, alias analysis, feature extraction) observes a program by
-    interpreting it.  Within one flow the same program — at the same
-    workload size and with the same focus function — is interpreted over
-    and over; this module memoizes those runs so all consumers share one
-    instrumented execution.
+    in/out, alias analysis, feature extraction) observes a program
+    through one fused profiling execution ({!Fused_profile}); this
+    module memoizes those runs so all consumers of the same request
+    share one execution process-wide.
 
-    Keying.  The cache key is a digest of the pretty-printed source, the
-    pre-order list of loop statement ids, and the focus function name.
-    Loop ids must be part of the key because the profile's per-loop trip
-    statistics are keyed by them: two structurally equal programs whose
-    loops carry different ids need distinct entries.  Conversely,
-    instrumentation wrappers (timer hooks) appear in the pretty output
-    (and their timer keys are literal arguments), so instrumented
-    variants hash differently from the bare program, while re-running
-    the *same* instrumented variant hits.  The workload size [n] needs
-    no dedicated key component: it is baked into the program text.
+    Keying.  The key is exactly the fused request [(program, workload,
+    focus)]: a digest of the pretty-printed source, the pre-order list
+    of loop statement ids, and the focus function name.  Loop ids must
+    be part of the key because the profile's per-loop trip statistics
+    are keyed by them: two structurally equal programs whose loops carry
+    different ids need distinct entries.  Program variants that differ
+    textually (e.g. timer-instrumented copies) hash differently from the
+    bare program, while re-running the *same* variant hits.  The
+    workload size [n] needs no dedicated key component: it is baked into
+    the program text.
 
     Entries are returned by reference; treat cached {!Eval.run} values
     (and their profiles) as read-only.
@@ -47,11 +46,8 @@ let default_capacity = 512
 
 let capacity =
   ref
-    (match
-       Option.bind (Sys.getenv_opt "PSAFLOW_CACHE_CAP") int_of_string_opt
-     with
-    | Some c when c >= 1 -> c
-    | _ -> default_capacity)
+    (Flow_obs.Env.int ~name:"PSAFLOW_CACHE_CAP" ~default:default_capacity
+       ~min:1 ())
 
 (** Change the entry bound (also settable via [PSAFLOW_CACHE_CAP]).
     Takes effect on the next insertion. *)

@@ -54,9 +54,7 @@ type t = {
 }
 
 let default_workers () =
-  match Option.bind (Sys.getenv_opt "PSAFLOW_SERVICE_WORKERS") int_of_string_opt with
-  | Some n when n > 0 -> n
-  | _ -> 2
+  Flow_obs.Env.int ~name:"PSAFLOW_SERVICE_WORKERS" ~default:2 ~min:1 ()
 
 let with_lock t f =
   Mutex.lock t.lock;

@@ -14,6 +14,22 @@ dune runtest
 echo "== perf smoke (bench/main.exe perf --quick) =="
 dune exec bench/main.exe -- perf --quick
 
+# The fused single-pass profile bounds the cold flow at one interpreter
+# execution per (benchmark, workload point, focus) request: 3 per
+# benchmark, 15 across the five-benchmark evaluation.  A higher count
+# means an analysis went back to running its own interpreter pass.
+INTERP_RUNS=$(sed -n 's/.*"interp_runs": *\([0-9]*\).*/\1/p' BENCH_psaflow.json | head -n1)
+[ -n "$INTERP_RUNS" ] \
+  || { echo "FAIL: BENCH_psaflow.json reports no interp_runs"; exit 1; }
+[ "$INTERP_RUNS" -le 15 ] \
+  || { echo "FAIL: cold flow took $INTERP_RUNS interpreter runs (budget 15)"; exit 1; }
+if grep -q '"outputs_identical": false' BENCH_psaflow.json; then
+  echo "FAIL: perf bench reports non-identical outputs"; exit 1
+fi
+grep -q '"outputs_identical": true' BENCH_psaflow.json \
+  || { echo "FAIL: perf bench reports no output-identity checks"; exit 1; }
+echo "interp_runs=$INTERP_RUNS (budget 15), outputs identical"
+
 PSAFLOW=_build/default/bin/psaflow.exe
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/psaflow-check-XXXXXX.sock")
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/psaflow-check-XXXXXX")

@@ -344,6 +344,80 @@ let test_log_levels_and_sink () =
   check "nothing emitted under quiet" true (!got = [])
 
 (* ------------------------------------------------------------------ *)
+(* Hardened environment knobs                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Flow_obs.Env
+
+(* A scratch knob name nothing else reads; [Unix.putenv] has no unset,
+   so tests leave it set to a valid value. *)
+let knob = "PSAFLOW_TEST_KNOB"
+
+let with_warnings f =
+  let saved_level = Log.level () in
+  let warnings = ref [] in
+  Log.set_sink (fun ~level msg -> if level = Log.Warn then warnings := msg :: !warnings);
+  Log.set_level Log.Warn;
+  Env.reset_warnings ();
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink Log.default_sink;
+      Log.set_level saved_level;
+      Env.reset_warnings ())
+    (fun () -> f warnings)
+
+let test_env_parsing () =
+  with_warnings @@ fun warnings ->
+  Unix.putenv knob "  12 ";
+  check "whitespace-tolerant parse" true
+    (Env.int_opt ~name:knob ~min:1 () = Some 12);
+  check "default ignored when set" true
+    (Env.int ~name:knob ~default:99 ~min:1 () = 12);
+  Unix.putenv knob "not-a-number";
+  check "non-integer ignored" true (Env.int_opt ~name:knob ~min:1 () = None);
+  check "non-integer falls back to default" true
+    (Env.int ~name:knob ~default:7 ~min:1 () = 7);
+  check "unset knob reads None" true
+    (Env.int_opt ~name:"PSAFLOW_TEST_KNOB_UNSET" ~min:1 () = None);
+  check "warned about the bad value" true (!warnings <> [])
+
+let test_env_clamping () =
+  with_warnings @@ fun warnings ->
+  List.iter
+    (fun bad ->
+      Unix.putenv knob bad;
+      check
+        (Printf.sprintf "%S clamps to the minimum" bad)
+        true
+        (Env.int_opt ~name:knob ~min:1 () = Some 1))
+    [ "0"; "-3"; "-2147483648" ];
+  Unix.putenv knob "2";
+  check "minimum itself passes" true (Env.int_opt ~name:knob ~min:2 () = Some 2);
+  check "clamping warned" true (!warnings <> [])
+
+let test_env_warn_once () =
+  with_warnings @@ fun warnings ->
+  Unix.putenv knob "0";
+  for _ = 1 to 5 do
+    ignore (Env.int ~name:knob ~default:4 ~min:1 ())
+  done;
+  check_int "one warning for five reads" 1 (List.length !warnings);
+  Env.reset_warnings ();
+  ignore (Env.int ~name:knob ~default:4 ~min:1 ());
+  check_int "warning re-armed by reset" 2 (List.length !warnings);
+  Unix.putenv knob "3"
+
+(* The production knobs go through the hardened parser: a zero/negative
+   value must clamp, not crash or propagate. *)
+let test_env_production_knobs () =
+  with_warnings @@ fun _ ->
+  Unix.putenv "PSAFLOW_JOBS" "0";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "PSAFLOW_JOBS" "1")
+    (fun () ->
+      check_int "PSAFLOW_JOBS=0 clamps to 1 job" 1 (Dse.Pool.jobs ()))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -385,5 +459,13 @@ let () =
         [
           Alcotest.test_case "of_string" `Quick test_log_of_string;
           Alcotest.test_case "levels and sink" `Quick test_log_levels_and_sink;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "parsing" `Quick test_env_parsing;
+          Alcotest.test_case "clamping" `Quick test_env_clamping;
+          Alcotest.test_case "warn once" `Quick test_env_warn_once;
+          Alcotest.test_case "production knobs" `Quick
+            test_env_production_knobs;
         ] );
     ]

@@ -194,6 +194,336 @@ let threads_prop =
       let r = Dse.Threads_dse.run d f in
       (r.chosen_threads, r.steps, r.design.num_threads))
 
+(* ------------------------------------------------------------------ *)
+(* Fused single-pass profile = legacy per-analysis interpreter runs    *)
+(* ------------------------------------------------------------------ *)
+
+module I = Minic_interp
+
+(* Everything a profile records, as a comparable value: totals, access
+   counters, per-loop stats, the kernel observations, the program
+   output and the return value. *)
+let run_fingerprint (r : I.Eval.run) =
+  let p = r.profile in
+  let loops =
+    Hashtbl.fold
+      (fun sid (s : I.Profile.loop_stat) acc ->
+        (sid, s.invocations, s.iterations, s.min_trip, s.max_trip, s.cycles)
+        :: acc)
+      p.loops []
+    |> List.sort compare
+  in
+  ( (p.cycles, p.loads, p.stores, p.flops, p.int_ops, p.sfu_ops),
+    (p.bytes_read, p.bytes_written),
+    loops,
+    p.kernel,
+    r.output,
+    r.return_value )
+
+(* The bare fused run measures bit-identically what the paper's timer
+   instrumentation measures: for every candidate loop, the instrumented
+   legacy run's timer total equals the projected loop cycles, and the
+   instrumentation itself costs nothing. *)
+let check_fused_bare (b : Benchmarks.Bench_app.t) () =
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let legacy =
+    I.Eval.run_ir (I.Resolve.compile (Analysis.Hotspot.instrument p))
+  in
+  let fused = I.Fused_profile.of_run p (I.Eval.run p) in
+  Alcotest.(check (float 0.0))
+    "instrumentation adds no cycles" legacy.profile.cycles
+    (I.Fused_profile.total_cycles fused);
+  Alcotest.(check string)
+    "same output" legacy.output
+    (I.Fused_profile.output fused);
+  let cands = Analysis.Hotspot.candidates p in
+  Alcotest.(check bool) "benchmark has candidate loops" true (cands <> []);
+  List.iter
+    (fun (m : Artisan.Query.match_ctx) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "loop %d: legacy timer total = projected cycles"
+           m.stmt.sid)
+        (I.Profile.timer_total legacy.profile m.stmt.sid)
+        (I.Fused_profile.loop_cycles fused m.stmt.sid))
+    cands;
+  match Analysis.Hotspot.of_fused fused with
+  | None -> Alcotest.fail "no hotspot detected"
+  | Some h ->
+      Alcotest.(check (float 0.0))
+        "hotspot cycles = legacy timer total"
+        (I.Profile.timer_total legacy.profile h.loop_sid)
+        h.cycles
+
+(* Every focused analysis must project the same record out of the fused
+   profile that the legacy kernel-focused walker run produces. *)
+let check_fused_focus (b : Benchmarks.Bench_app.t) () =
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let ex, kernel, _ = Psa.Std_flow.prepare_kernel p in
+  let legacy = I.Eval.run_ir ~focus:kernel (I.Resolve.compile ex) in
+  let fused = I.Fused_profile.of_run ~focus:kernel ex (I.Eval.run ~focus:kernel ex) in
+  Alcotest.(check bool)
+    "kernel observations identical" true
+    (legacy.profile.kernel = I.Fused_profile.kernel_obs fused);
+  (* project each analysis from the legacy walker run and compare with
+     the production (threaded, cached) analysis entry points *)
+  let of_legacy = I.Fused_profile.of_run ~focus:kernel ex legacy in
+  let dio = with_cache_off (fun () -> Analysis.Data_inout.analyze ex ~kernel) in
+  Alcotest.(check bool)
+    "data in/out projection" true
+    (dio = Analysis.Data_inout.of_fused of_legacy ~kernel);
+  let al = with_cache_off (fun () -> Analysis.Alias.analyze ex ~kernel) in
+  Alcotest.(check bool)
+    "alias projection" true
+    (al = Analysis.Alias.of_fused of_legacy ~kernel);
+  let fe = with_cache_off (fun () -> Analysis.Features.analyze ex ~kernel) in
+  Alcotest.(check bool)
+    "features projection" true
+    (fe = Analysis.Features.of_fused of_legacy ~kernel)
+
+let fused_tests =
+  List.concat_map
+    (fun (b : Benchmarks.Bench_app.t) ->
+      [
+        Alcotest.test_case (b.id ^ " bare") `Slow (check_fused_bare b);
+        Alcotest.test_case (b.id ^ " focused") `Slow (check_fused_focus b);
+      ])
+    Benchmarks.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Threaded code = reference walker (qcheck over generated programs)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random MiniC kernels exercising scalar and array arithmetic, casts,
+   division, math builtins, short-circuit conditions, nested [for],
+   bounded [while] and compound assignment.  Loop variables index the
+   64-element arrays as [i + 7*j], which stays in bounds for any pair of
+   in-scope loop variables (bounds at most 7). *)
+let program_gen =
+  let open QCheck.Gen in
+  let fresh = ref 0 in
+  let loop_vars = [ "i"; "j"; "k" ] in
+  let rec iexpr depth vars =
+    let leaves =
+      [ return "u"; return "v"; map string_of_int (int_range 0 9) ]
+      @ List.map return vars
+    in
+    if depth = 0 then oneof leaves
+    else
+      frequency
+        [
+          (3, oneof leaves);
+          ( 2,
+            let* a = iexpr (depth - 1) vars
+            and* b = iexpr (depth - 1) vars
+            and* op = oneofl [ "+"; "-"; "*" ] in
+            return (Printf.sprintf "(%s %s %s)" a op b) );
+          ( 1,
+            let* a = iexpr (depth - 1) vars in
+            return (Printf.sprintf "(%s / 3)" a) );
+          ( 1,
+            let* i = idx vars in
+            return (Printf.sprintf "b[%s]" i) );
+          ( 1,
+            let* f = fexpr (depth - 1) vars in
+            return (Printf.sprintf "(int)(%s)" f) );
+        ]
+  and fexpr depth vars =
+    let leaves =
+      [
+        return "x";
+        return "y";
+        return "0.25";
+        return "1.5";
+        return "rand01()";
+        (let* i = idx vars in
+         return (Printf.sprintf "a[%s]" i));
+      ]
+    in
+    if depth = 0 then oneof leaves
+    else
+      frequency
+        [
+          (3, oneof leaves);
+          ( 3,
+            let* a = fexpr (depth - 1) vars
+            and* b = fexpr (depth - 1) vars
+            and* op = oneofl [ "+"; "-"; "*" ] in
+            return (Printf.sprintf "(%s %s %s)" a op b) );
+          ( 1,
+            let* a = fexpr (depth - 1) vars in
+            return (Printf.sprintf "(%s / 1.25)" a) );
+          ( 1,
+            let* a = fexpr (depth - 1) vars
+            and* f = oneofl [ "sqrt(fabs(%s))"; "fabs(%s)"; "sin(%s)"; "cos(%s)" ] in
+            return (Printf.sprintf (Scanf.format_from_string f "%s") a) );
+          ( 1,
+            let* i = iexpr (depth - 1) vars in
+            return (Printf.sprintf "(double)(%s)" i) );
+        ]
+  and idx vars =
+    let open QCheck.Gen in
+    match vars with
+    | [] -> map string_of_int (int_range 0 63)
+    | v :: rest ->
+        oneof
+          ([ return v; map string_of_int (int_range 0 63) ]
+          @
+          match rest with
+          | w :: _ -> [ return (Printf.sprintf "(%s + 7 * %s)" v w) ]
+          | [] -> [])
+  and cond depth vars =
+    let open QCheck.Gen in
+    let cmp =
+      frequency
+        [
+          ( 2,
+            let* a = fexpr 1 vars
+            and* b = fexpr 1 vars
+            and* op = oneofl [ "<"; "<="; ">"; ">="; "!=" ] in
+            return (Printf.sprintf "%s %s %s" a op b) );
+          ( 1,
+            let* a = iexpr 1 vars
+            and* b = iexpr 1 vars
+            and* op = oneofl [ "<"; "=="; ">" ] in
+            return (Printf.sprintf "%s %s %s" a op b) );
+        ]
+    in
+    if depth = 0 then cmp
+    else
+      frequency
+        [
+          (3, cmp);
+          ( 1,
+            let* a = cond (depth - 1) vars
+            and* b = cond (depth - 1) vars
+            and* op = oneofl [ "&&"; "||" ] in
+            return (Printf.sprintf "(%s) %s (%s)" a op b) );
+        ]
+  and stmt depth vars =
+    let open QCheck.Gen in
+    let simple =
+      frequency
+        [
+          ( 3,
+            let* t = oneofl [ "x"; "y" ]
+            and* op = oneofl [ "="; "+="; "-="; "*=" ]
+            and* e = fexpr 2 vars in
+            return (Printf.sprintf "%s %s %s;" t op e) );
+          ( 2,
+            let* t = oneofl [ "u"; "v" ]
+            and* op = oneofl [ "="; "+=" ]
+            and* e = iexpr 2 vars in
+            return (Printf.sprintf "%s %s %s;" t op e) );
+          ( 2,
+            let* i = idx vars
+            and* op = oneofl [ "="; "+=" ]
+            and* e = fexpr 2 vars in
+            return (Printf.sprintf "a[%s] %s %s;" i op e) );
+          ( 1,
+            let* i = idx vars
+            and* e = iexpr 2 vars in
+            return (Printf.sprintf "b[%s] = %s;" i e) );
+        ]
+    in
+    if depth = 0 then simple
+    else
+      frequency
+        [
+          (4, simple);
+          ( 2,
+            let* c = cond 1 vars
+            and* a = block (depth - 1) vars
+            and* b = block (depth - 1) vars
+            and* has_else = bool in
+            return
+              (if has_else then
+                 Printf.sprintf "if (%s) {\n%s\n} else {\n%s\n}" c a b
+               else Printf.sprintf "if (%s) {\n%s\n}" c a) );
+          ( 2,
+            match List.find_opt (fun v -> not (List.mem v vars)) loop_vars with
+            | None -> simple
+            | Some v ->
+                let* bound = int_range 2 6
+                and* body = block (depth - 1) (v :: vars) in
+                return
+                  (Printf.sprintf "for (int %s = 0; %s < %d; %s++) {\n%s\n}" v
+                     v bound v body) );
+          ( 1,
+            let w =
+              incr fresh;
+              Printf.sprintf "w%d" !fresh
+            in
+            let* bound = int_range 1 4
+            and* body = block (depth - 1) vars in
+            return
+              (Printf.sprintf
+                 "int %s = %d;\nwhile (%s > 0) {\n%s = %s - 1;\n%s\n}" w bound
+                 w w w body) );
+        ]
+  and block depth vars =
+    let open QCheck.Gen in
+    let* n = int_range 1 3 in
+    let* stmts = flatten_l (List.init n (fun _ -> stmt depth vars)) in
+    return (String.concat "\n" stmts)
+  in
+  let* body = block 3 [] in
+  return
+    (Printf.sprintf
+       {|
+double work(double* a, int* b, int n) {
+  double x = 0.5;
+  double y = 1.5;
+  int u = 3;
+  int v = 7;
+%s
+  return x + y + (double)u + 0.125 * (double)v;
+}
+
+int main() {
+  int n = 64;
+  double a[n];
+  int b[n];
+  for (int s = 0; s < n; s++) {
+    a[s] = rand01();
+    b[s] = s;
+  }
+  double acc = 0.0;
+  for (int t = 0; t < 3; t++) {
+    acc += work(a, b, n);
+  }
+  print_float(acc);
+  print_int(b[5]);
+  return 0;
+}
+|}
+       body)
+
+let program_arb = QCheck.make ~print:Fun.id program_gen
+
+(* The threaded-code engine must be indistinguishable from the reference
+   tree walker — identical profile, counters, loop stats, kernel
+   observations, output and return value — bare and kernel-focused; and
+   timer instrumentation must cost nothing on either engine. *)
+let engine_equivalence_prop =
+  QCheck.Test.make ~count:30 ~name:"threaded = walker on generated programs"
+    program_arb (fun src ->
+      let p = Minic.Parser.parse_program src in
+      let walker = I.Eval.run_ir (I.Resolve.compile p) in
+      let threaded = I.Eval.run p in
+      let bare_ok = run_fingerprint walker = run_fingerprint threaded in
+      let fwalker = I.Eval.run_ir ~focus:"work" (I.Resolve.compile p) in
+      let fthreaded = I.Eval.run ~focus:"work" p in
+      let focus_ok = run_fingerprint fwalker = run_fingerprint fthreaded in
+      let instr = I.Eval.run (Analysis.Hotspot.instrument p) in
+      let instr_ok =
+        instr.profile.cycles = threaded.profile.cycles
+        && instr.output = threaded.output
+      in
+      if not bare_ok then QCheck.Test.fail_report "bare run diverges";
+      if not focus_ok then QCheck.Test.fail_report "focused run diverges";
+      if not instr_ok then QCheck.Test.fail_report "instrumented run diverges";
+      true)
+
 (* The flow's branch fan-out must produce the same designs in the same
    order with and without worker domains. *)
 let uninformed_parallel_identical () =
@@ -228,6 +558,8 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick pool_exception;
           Alcotest.test_case "jobs override" `Quick pool_jobs_env;
         ] );
+      ("fused", fused_tests);
+      ("engine", [ QCheck_alcotest.to_alcotest engine_equivalence_prop ]);
       ( "dse-parallel",
         [
           QCheck_alcotest.to_alcotest unroll_prop;
