@@ -98,30 +98,109 @@ let run ~quick () =
     (if quick then "quick" else "full")
     cores;
 
-  (* -- interpreter throughput: IR walker vs threaded code ----------- *)
+  (* -- interpreter throughput: walker vs threaded vs optimized ------ *)
+  (* --quick runs every leg below — including the per-pass optimizer
+     identity checks — with fewer timing repetitions, never skipping a
+     section: a partial rerun must overwrite every BENCH field. *)
+  let interp_reps = if quick then 2 else 3 in
+  let best f =
+    let r = ref (time f) in
+    for _ = 2 to interp_reps do
+      let s, v = time f in
+      if s < fst !r then r := (s, v)
+    done;
+    !r
+  in
   let heavy =
     List.nth Benchmarks.Registry.all 1 (* nbody: float-heavy kernel *)
   in
   let heavy_p = Benchmarks.Bench_app.program heavy ~n:heavy.profile_n in
   let heavy_ir = Minic_interp.Resolve.compile heavy_p in
+  (* the production path ([Eval.compile] = resolve + optimize + thread);
+     compiled first so the published opt_* pass counters are its own *)
   let compiled = Minic_interp.Eval.compile heavy_p in
-  let before_s, before_run =
-    time (fun () -> Minic_interp.Eval.run_ir heavy_ir)
+  let opt_counters =
+    List.map
+      (fun name ->
+        (name, Flow_obs.Metrics.counter_value Flow_obs.Metrics.global name))
+      [
+        "opt_consts_folded";
+        "opt_ops_strength_reduced";
+        "opt_slots_eliminated";
+        "opt_exprs_hoisted";
+        "opt_kernels_specialized";
+      ]
+  in
+  let unoptimized = Minic_interp.Eval.compile_resolved heavy_ir in
+  let before_s, before_run = best (fun () -> Minic_interp.Eval.run_ir heavy_ir) in
+  let unopt_s, unopt_run =
+    best (fun () -> Minic_interp.Eval.run_compiled unoptimized)
   in
   let after_s, after_run =
-    time (fun () -> Minic_interp.Eval.run_compiled compiled)
+    best (fun () -> Minic_interp.Eval.run_compiled compiled)
+  in
+  (* everything a profile consumer can observe, as a comparable value *)
+  let fingerprint (r : Minic_interp.Eval.run) =
+    let p = r.profile in
+    ( (p.cycles, p.loads, p.stores, p.flops, p.int_ops, p.sfu_ops),
+      (p.bytes_read, p.bytes_written),
+      r.output,
+      r.return_value )
+  in
+  let walker_fp = fingerprint before_run in
+  (* per-pass bit-identity legs: each optimizer pass alone, then all
+     composed, against the reference walker on the raw slot IR *)
+  let no_p = Minic_interp.Opt.no_passes in
+  let pass_legs =
+    [
+      ("fold", { no_p with Minic_interp.Opt.fold = true });
+      ("strength", { no_p with Minic_interp.Opt.strength = true });
+      ("dead", { no_p with Minic_interp.Opt.dead = true });
+      ("hoist", { no_p with Minic_interp.Opt.hoist = true });
+      ("specialize", { no_p with Minic_interp.Opt.specialize = true });
+      ("composed", Minic_interp.Opt.all_passes);
+    ]
+  in
+  let pass_identical =
+    List.map
+      (fun (name, config) ->
+        let r =
+          Minic_interp.Eval.run_compiled
+            (Minic_interp.Eval.compile_resolved
+               (Minic_interp.Opt.optimize ~config heavy_ir))
+        in
+        (name, fingerprint r = walker_fp))
+      pass_legs
   in
   let threaded_identical =
-    before_run.profile.cycles = after_run.profile.cycles
-    && before_run.output = after_run.output
+    fingerprint unopt_run = walker_fp
+    && fingerprint after_run = walker_fp
+    && List.for_all snd pass_identical
   in
   let mcycles = after_run.profile.cycles /. 1e6 in
-  let before_rate = mcycles /. before_s and after_rate = mcycles /. after_s in
+  let before_rate = mcycles /. before_s
+  and unopt_rate = mcycles /. unopt_s
+  and after_rate = mcycles /. after_s in
+  let bulk_mcycles =
+    match
+      Flow_obs.Metrics.histogram_summary Flow_obs.Metrics.global
+        "interp_bulk_cycles"
+    with
+    | Some s -> s.Flow_obs.Metrics.s_max /. 1e6
+    | None -> 0.0
+  in
   Printf.printf
     "interp   %-12s ir-walker %8.4f s (%.1f Mcycles/s)   threaded %8.4f s \
-     (%.1f Mcycles/s)   speedup %.1fx   outputs identical: %b\n%!"
-    heavy.id before_s before_rate after_s after_rate (before_s /. after_s)
-    threaded_identical;
+     (%.1f Mcycles/s)   optimized %8.4f s (%.1f Mcycles/s)   speedup %.1fx   \
+     outputs identical: %b\n%!"
+    heavy.id before_s before_rate unopt_s unopt_rate after_s after_rate
+    (before_s /. after_s) threaded_identical;
+  Printf.printf "         passes: %s   bulk %.1f of %.1f Mcycles\n%!"
+    (String.concat "  "
+       (List.map
+          (fun (n, ok) -> Printf.sprintf "%s=%s" n (if ok then "ok" else "DIVERGES"))
+          pass_identical))
+    bulk_mcycles mcycles;
   if not threaded_identical then
     prerr_endline "ERROR: threaded-code profile diverges from the IR walker!";
 
@@ -198,12 +277,29 @@ let run ~quick () =
                     ("run_s", Float before_s);
                     ("mcycles_per_s", Float before_rate);
                   ] );
+              (* production path: slot IR optimized, then threaded *)
               ( "threaded",
                 Obj
                   [
                     ("run_s", Float after_s);
                     ("mcycles_per_s", Float after_rate);
                   ] );
+              ( "optimized",
+                Obj
+                  ([
+                     ("unoptimized_run_s", Float unopt_s);
+                     ("unoptimized_mcycles_per_s", Float unopt_rate);
+                     ("run_s", Float after_s);
+                     ("mcycles_per_s", Float after_rate);
+                     ("speedup_vs_unoptimized", Float (unopt_s /. after_s));
+                     ("bulk_mcycles_charged", Float bulk_mcycles);
+                     ( "passes_identical",
+                       Obj
+                         (List.map
+                            (fun (n, ok) -> (n, Bool ok))
+                            pass_identical) );
+                   ]
+                  @ List.map (fun (n, v) -> (n, Int v)) opt_counters) );
               ("speedup", Float (before_s /. after_s));
               ("outputs_identical", Bool threaded_identical);
             ] );

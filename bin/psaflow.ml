@@ -297,13 +297,22 @@ let report_cmd =
       & info [ "json" ]
           ~doc:"Emit machine-readable JSON instead of the text tables.")
   in
-  let run json = protect @@ fun () -> Report_cmd.run ~json () in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "With $(b,--json): exit 1 when BENCH_psaflow.json is missing or \
+             stale (perf fields degraded to null).  Without it, degraded \
+             fields only warn on stderr.")
+  in
+  let run json strict = protect @@ fun () -> Report_cmd.run ~strict ~json () in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Measure and print the Fig. 5 / Table I / Fig. 6 evaluation data \
           (all five benchmarks).")
-    Term.(const run $ json)
+    Term.(const run $ json $ strict)
 
 (* ------------------------------------------------------------------ *)
 (* Service commands                                                    *)

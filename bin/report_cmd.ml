@@ -170,38 +170,82 @@ let opt_float = function Some v -> Json.Float v | None -> Json.Null
     [bench/main.exe perf]), distilled to what a report consumer needs:
     the core count both speedups were measured on, the parallel flow
     speedup (bounded by [cores]) and the cached-vs-uncached wall-clock
-    pair (meaningful regardless of core count).  [None] — and omitted
-    from the report — when the file is absent or unreadable. *)
-let perf_section () : Json.t option =
-  let ( let* ) = Option.bind in
-  let* text =
-    try
-      let ic = open_in "BENCH_psaflow.json" in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Some (really_input_string ic (in_channel_length ic)))
-    with Sys_error _ -> None
-  in
-  let* bench =
-    match Json.parse_result text with Ok j -> Some j | Error _ -> None
-  in
-  let* flow = Json.member "flow" bench in
-  let pick obj name = Option.value ~default:Json.Null (Json.member name obj) in
-  Some
-    (Json.Obj
-       [
-         ("source", Json.String "BENCH_psaflow.json");
-         ("cores", pick bench "cores");
-         ("jobs", pick bench "jobs");
-         ("sequential_uncached_s", pick flow "sequential_uncached_s");
-         ("parallel_cached_s", pick flow "parallel_cached_s");
-         (* parallel speedup: bounded by [cores], ~1x on one core *)
-         ("flow_speedup", pick flow "speedup");
-         ("cached_vs_uncached_flow", pick flow "cached_vs_uncached_flow");
-         ("outputs_identical", pick flow "outputs_identical");
-       ])
+    pair (meaningful regardless of core count), plus the interpreter
+    throughput incl. the slot-IR optimizer's contribution
+    ([interp.optimized]).
 
-let json_of_data data : Json.t =
+    Degrades rather than raises: an absent/unreadable file, or any
+    missing or stale field, yields [Json.Null] for that field and a
+    warning in the returned list.  Callers decide whether warnings are
+    fatal ([report --strict]). *)
+let perf_section () : Json.t * string list =
+  let warnings = ref [] in
+  let warn fmt =
+    Printf.ksprintf (fun m -> warnings := m :: !warnings) fmt
+  in
+  let bench =
+    match
+      try
+        let ic = open_in "BENCH_psaflow.json" in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      with Sys_error e ->
+        warn "BENCH_psaflow.json unreadable (%s); perf fields are null" e;
+        None
+    with
+    | None -> Json.Null
+    | Some text -> (
+        match Json.parse_result text with
+        | Ok j -> j
+        | Error e ->
+            warn "BENCH_psaflow.json is not valid JSON (%s); perf fields are \
+                  null" e;
+            Json.Null)
+  in
+  (* a path like "flow.sequential_uncached_s": every missing step warns
+     once and degrades to Null (suppressed when the whole file already
+     failed to load — one warning is enough) *)
+  let pick obj path =
+    let rec go j = function
+      | [] -> Some j
+      | name :: rest -> Option.bind (Json.member name j) (fun j -> go j rest)
+    in
+    match go obj path with
+    | Some j -> j
+    | None ->
+        if obj <> Json.Null then
+          warn "BENCH_psaflow.json: missing field %S (stale file? re-run \
+                `bench/main.exe perf`)"
+            (String.concat "." path);
+        Json.Null
+  in
+  (* advisory only (not --strict fatal): CI legitimately writes the file
+     with --quick *)
+  (match Json.member "quick" bench with
+  | Some (Json.Bool true) ->
+      prerr_endline
+        "psaflow report: note: BENCH_psaflow.json was written by a --quick \
+         run; numbers are smoke-test quality"
+  | _ -> ());
+  ( Json.Obj
+      [
+        ("source", Json.String "BENCH_psaflow.json");
+        ("cores", pick bench [ "cores" ]);
+        ("jobs", pick bench [ "jobs" ]);
+        ("sequential_uncached_s", pick bench [ "flow"; "sequential_uncached_s" ]);
+        ("parallel_cached_s", pick bench [ "flow"; "parallel_cached_s" ]);
+        (* parallel speedup: bounded by [cores], ~1x on one core *)
+        ("flow_speedup", pick bench [ "flow"; "speedup" ]);
+        ("cached_vs_uncached_flow", pick bench [ "flow"; "cached_vs_uncached_flow" ]);
+        ("outputs_identical", pick bench [ "flow"; "outputs_identical" ]);
+        ( "interp_mcycles_per_s",
+          pick bench [ "interp"; "threaded"; "mcycles_per_s" ] );
+        ("interp_optimized", pick bench [ "interp"; "optimized" ]);
+      ],
+    List.rev !warnings )
+
+let json_of_data data : Json.t * string list =
   let fig5 =
     List.map
       (fun c ->
@@ -270,15 +314,26 @@ let json_of_data data : Json.t =
         | _ -> None)
       (fig6_times data)
   in
-  Json.Obj
-    ([
-       ("fig5", Json.List fig5);
-       ("table1", Json.List table1);
-       ("fig6", Json.List fig6);
-     ]
-    @ match perf_section () with Some p -> [ ("perf", p) ] | None -> [])
+  let perf, warnings = perf_section () in
+  ( Json.Obj
+      [
+        ("fig5", Json.List fig5);
+        ("table1", Json.List table1);
+        ("fig6", Json.List fig6);
+        ("perf", perf);
+      ],
+    warnings )
 
-let run ~json () =
+let run ?(strict = false) ~json () =
   let data = collect () in
-  if json then print_string (Json.to_string_pretty (json_of_data data))
+  if json then begin
+    let j, warnings = json_of_data data in
+    List.iter (fun w -> prerr_endline ("psaflow report: warning: " ^ w)) warnings;
+    print_string (Json.to_string_pretty j);
+    if strict && warnings <> [] then begin
+      prerr_endline
+        "psaflow report: --strict: treating perf-section warnings as fatal";
+      exit 1
+    end
+  end
   else print_text data

@@ -77,6 +77,9 @@ type state = {
           profile's Hashtbl is only consulted on a loop's first
           invocation.  Sized by {!run_compiled}; unused (empty) on the
           reference walker path. *)
+  mutable bulk_cycles : float;
+      (** virtual cycles charged in bulk by specialized loop kernels
+          this run; surfaced as the [interp_bulk_cycles] metric. *)
 }
 
 let[@inline] cached_loop_stat st lidx sid =
@@ -398,6 +401,12 @@ let counters_snapshot st =
 (* Threaded-code compilation                                           *)
 (* ================================================================== *)
 
+(* Raised by a specialized kernel's entry protocol — strictly before any
+   state mutation — when a precondition fails (non-numeric bounds,
+   non-float region, out-of-range access, insufficient fuel).  The
+   fused statement then falls back to its faithfully compiled loop. *)
+exception Kernel_unfit
+
 (* Compiled expression / statement: a pre-bound closure over the run
    state and the current frame.  Compilation happens once per program;
    execution performs no constructor dispatch. *)
@@ -640,6 +649,163 @@ let compile_variant (cp : Resolve.t) ~track : variant =
         | Minic.Ast.Tbool -> fun st fr -> vbool (to_bool (ca st fr))
         | _ -> ca)
     | ECall { callee; cargs } -> ccall callee cargs
+    | EFolded { fval; f_flops; f_int_ops; f_dyn } ->
+        (* optimizer-built: yield the folded constant while replaying
+           the folded subtree's exact counter bumps and charges *)
+        fun st _fr ->
+          if f_dyn <> 0.0 then charge st f_dyn;
+          if f_flops <> 0 then st.prof.flops <- st.prof.flops + f_flops;
+          if f_int_ops <> 0 then st.prof.int_ops <- st.prof.int_ops + f_int_ops;
+          fval
+    | EArithF (op, fresid, a, b) -> (
+        let ca = cexpr a and cb = cexpr b in
+        match op with
+        | Minic.Ast.Add ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              if fresid <> 0.0 then charge st fresid;
+              st.prof.flops <- st.prof.flops + 1;
+              VFloat (to_float va +. to_float vb)
+        | Minic.Ast.Sub ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              if fresid <> 0.0 then charge st fresid;
+              st.prof.flops <- st.prof.flops + 1;
+              VFloat (to_float va -. to_float vb)
+        | Minic.Ast.Mul ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              if fresid <> 0.0 then charge st fresid;
+              st.prof.flops <- st.prof.flops + 1;
+              VFloat (to_float va *. to_float vb)
+        | _ -> assert false)
+    | EArithI (op, a, b) -> (
+        let ca = cexpr a and cb = cexpr b in
+        match op with
+        | Minic.Ast.Add ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              st.prof.int_ops <- st.prof.int_ops + 1;
+              VInt (to_int va + to_int vb)
+        | Minic.Ast.Sub ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              st.prof.int_ops <- st.prof.int_ops + 1;
+              VInt (to_int va - to_int vb)
+        | Minic.Ast.Mul ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              st.prof.int_ops <- st.prof.int_ops + 1;
+              VInt (to_int va * to_int vb)
+        | _ -> assert false)
+    | EDivF (a, b) ->
+        let ca = cexpr a and cb = cexpr b in
+        fun st fr ->
+          let va = ca st fr in
+          let vb = cb st fr in
+          charge st Profile.Cost.float_div;
+          st.prof.flops <- st.prof.flops + 1;
+          VFloat (to_float va /. to_float vb)
+    | EDivI (a, b) ->
+        let ca = cexpr a and cb = cexpr b in
+        fun st fr ->
+          let va = ca st fr in
+          let vb = cb st fr in
+          charge st Profile.Cost.int_op;
+          st.prof.int_ops <- st.prof.int_ops + 1;
+          let d = to_int vb in
+          if d = 0 then err "integer division by zero";
+          VInt (to_int va / d)
+    | ECmpF (op, a, b) -> (
+        let ca = cexpr a and cb = cexpr b in
+        match op with
+        | Minic.Ast.Lt ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_float va < to_float vb)
+        | Minic.Ast.Le ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_float va <= to_float vb)
+        | Minic.Ast.Gt ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_float va > to_float vb)
+        | Minic.Ast.Ge ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_float va >= to_float vb)
+        | Minic.Ast.Eq ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_float va = to_float vb)
+        | Minic.Ast.Ne ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_float va <> to_float vb)
+        | _ -> assert false)
+    | ECmpI (op, a, b) -> (
+        let ca = cexpr a and cb = cexpr b in
+        match op with
+        | Minic.Ast.Lt ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_int va < to_int vb)
+        | Minic.Ast.Le ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_int va <= to_int vb)
+        | Minic.Ast.Gt ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_int va > to_int vb)
+        | Minic.Ast.Ge ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_int va >= to_int vb)
+        | Minic.Ast.Eq ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_int va = to_int vb)
+        | Minic.Ast.Ne ->
+            fun st fr ->
+              let va = ca st fr in
+              let vb = cb st fr in
+              vbool (to_int va <> to_int vb)
+        | _ -> assert false)
+    | EHoisted { hslot; h_flops; h_sfu; h_dyn; horig } -> (
+        let ch = cexpr horig in
+        fun st fr ->
+          match Array.unsafe_get fr hslot with
+          | VFloat _ as v ->
+              (* cache hit: replay the subtree's counted effects *)
+              if h_dyn <> 0.0 then charge st h_dyn;
+              if h_flops <> 0 then st.prof.flops <- st.prof.flops + h_flops;
+              if h_sfu <> 0 then st.prof.sfu_ops <- st.prof.sfu_ops + h_sfu;
+              v
+          | _ ->
+              (* first evaluation this loop invocation; errors are never
+                 cached, so a failing subtree fails on every iteration *)
+              let v = ch st fr in
+              Array.unsafe_set fr hslot v;
+              v)
   and ccall callee cargs : ecode =
     let cas = List.map cexpr cargs in
     match callee with
@@ -901,43 +1067,8 @@ let compile_variant (cp : Resolve.t) ~track : variant =
           stat.max_trip <- max stat.max_trip !trips;
           stat.cycles <- stat.cycles +. (cycles st -. t0)
     | SFor { fsid; slot; init; bound; inclusive; step; body } ->
-        let lidx = fresh_loop_idx () in
-        let cinit = cexpr init
-        and cbound = cexpr bound
-        and cstep = cexpr step in
-        let cbody = cblock body in
-        let get = getter slot and set = setter slot in
-        let icost = init.ecost
-        and bcost = Profile.Cost.branch +. bound.ecost
-        and scost = step.ecost in
-        let iter_cost = Profile.Cost.loop_iter +. Profile.Cost.int_op in
-        fun st fr ->
-          spend_fuel st;
-          let stat = cached_loop_stat st lidx fsid in
-          stat.invocations <- stat.invocations + 1;
-          let t0 = cycles st in
-          charge st icost;
-          let i0 = to_int (cinit st fr) in
-          set st fr (VInt i0);
-          let trips = ref 0 in
-          while
-            charge st bcost;
-            let b = to_int (cbound st fr) in
-            let i = to_int (get st fr) in
-            if inclusive then i <= b else i < b
-          do
-            incr trips;
-            stat.iterations <- stat.iterations + 1;
-            spend_fuel st;
-            charge st iter_cost;
-            cbody st fr;
-            charge st scost;
-            let stepv = to_int (cstep st fr) in
-            set st fr (VInt (to_int (get st fr) + stepv))
-          done;
-          stat.min_trip <- min stat.min_trip !trips;
-          stat.max_trip <- max stat.max_trip !trips;
-          stat.cycles <- stat.cycles +. (cycles st -. t0)
+        compile_for (fresh_loop_idx ()) ~fsid ~slot ~init ~bound ~inclusive
+          ~step ~body
     | SReturn eo -> (
         match eo with
         | Some e ->
@@ -954,6 +1085,294 @@ let compile_variant (cp : Resolve.t) ~track : variant =
         fun st fr ->
           spend_fuel st;
           cb st fr
+    | SDrop { dtyp; drhs } -> (
+        (* optimizer-built residue of a dead write: evaluate the rhs for
+           its effects, replay the declaration coercion's error check,
+           discard the value *)
+        match drhs with
+        | None -> fun st _fr -> spend_fuel st
+        | Some e ->
+            let ce = cexpr e in
+            let chk : Value.t -> unit =
+              match dtyp with
+              | Some Minic.Ast.Tint -> fun v -> ignore (to_int v)
+              | Some (Minic.Ast.Tfloat | Minic.Ast.Tdouble) ->
+                  fun v -> ignore (to_float v)
+              | Some Minic.Ast.Tbool -> fun v -> ignore (to_bool v)
+              | Some _ | None -> ignore
+            in
+            fun st fr ->
+              spend_fuel st;
+              chk (ce st fr))
+    | SHoistReset slots ->
+        (* synthetic bookkeeping: invalidate {!EHoisted} caches — free
+           of fuel and cycles, invisible to the profile *)
+        let slots = Array.of_list slots in
+        fun _st fr ->
+          Array.iter (fun i -> Array.unsafe_set fr i VUnit) slots
+    | SFused { forig; kern } -> (
+        match forig with
+        | SFor { fsid; slot; init; bound; inclusive; step; body } ->
+            (* the kernel and its fallback loop share one loop-stat
+               identity (and one dense cache index) *)
+            let lidx = fresh_loop_idx () in
+            let generic =
+              compile_for lidx ~fsid ~slot ~init ~bound ~inclusive ~step ~body
+            in
+            let kexec = ckernel lidx kern in
+            fun st fr -> (
+              try kexec st fr with Kernel_unfit -> generic st fr)
+        | s ->
+            (* the optimizer only fuses for-loops *)
+            cstmt s)
+  and compile_for lidx ~fsid ~slot ~init ~bound ~inclusive ~step ~body : scode
+      =
+    let cinit = cexpr init
+    and cbound = cexpr bound
+    and cstep = cexpr step in
+    let cbody = cblock body in
+    let get = getter slot and set = setter slot in
+    let icost = (init : Resolve.expr).ecost
+    and bcost = Profile.Cost.branch +. (bound : Resolve.expr).ecost
+    and scost = (step : Resolve.expr).ecost in
+    let iter_cost = Profile.Cost.loop_iter +. Profile.Cost.int_op in
+    fun st fr ->
+      spend_fuel st;
+      let stat = cached_loop_stat st lidx fsid in
+      stat.invocations <- stat.invocations + 1;
+      let t0 = cycles st in
+      charge st icost;
+      let i0 = to_int (cinit st fr) in
+      set st fr (VInt i0);
+      let trips = ref 0 in
+      while
+        charge st bcost;
+        let b = to_int (cbound st fr) in
+        let i = to_int (get st fr) in
+        if inclusive then i <= b else i < b
+      do
+        incr trips;
+        stat.iterations <- stat.iterations + 1;
+        spend_fuel st;
+        charge st iter_cost;
+        cbody st fr;
+        charge st scost;
+        let stepv = to_int (cstep st fr) in
+        set st fr (VInt (to_int (get st fr) + stepv))
+      done;
+      stat.min_trip <- min stat.min_trip !trips;
+      stat.max_trip <- max stat.max_trip !trips;
+      stat.cycles <- stat.cycles +. (cycles st -. t0)
+  and ckernel lidx (k : Resolve.kernel) : scode =
+    let iter_cost = Profile.Cost.loop_iter +. Profile.Cost.int_op in
+    let per_iter =
+      k.k_bcost +. iter_cost +. k.k_gcost +. k.k_dyn_cycles +. k.k_scost
+    in
+    let body = k.k_body in
+    let nbody = Array.length body in
+    let nsites = Array.length k.k_sites in
+    let loads_per_iter = Array.fold_left ( + ) 0 k.k_site_loads in
+    let stores_per_iter = Array.fold_left ( + ) 0 k.k_site_stores in
+    let fuel_per_iter = 1 + k.k_nstmts in
+    fun st fr ->
+      (* ---- entry protocol: every check aborts with [Kernel_unfit]
+         strictly before any state mutation, so the generic fallback
+         reproduces semantics (and error points) exactly ---- *)
+      let rec ieval iv (ie : Resolve.iexpr) =
+        match ie with
+        | Resolve.ILit n -> n
+        | Resolve.IIdx -> iv
+        | Resolve.ISlot i -> (
+            (* the optimizer typed this slot int/bool; anything else
+               means the static claim misfired — fall back *)
+            match Array.unsafe_get fr i with
+            | VInt n -> n
+            | VBool b -> if b then 1 else 0
+            | VFloat _ | VUnit | VPtr _ -> raise Kernel_unfit)
+        | Resolve.IAdd (a, b) -> ieval iv a + ieval iv b
+        | Resolve.ISub (a, b) -> ieval iv a - ieval iv b
+        | Resolve.IMul (a, b) -> ieval iv a * ieval iv b
+        | Resolve.INeg a -> -ieval iv a
+      in
+      let i0 = ieval 0 k.k_init in
+      let b = ieval 0 k.k_bound in
+      let s = ieval 0 k.k_step in
+      (* keep index arithmetic far from native-int wrap so the closed
+         forms below are exact *)
+      let sane v = -0x4000_0000_0000 < v && v < 0x4000_0000_0000 in
+      if s <= 0 || not (sane i0 && sane b && sane s) then raise Kernel_unfit;
+      let n =
+        if k.k_inclusive then if i0 <= b then ((b - i0) / s) + 1 else 0
+        else if i0 < b then (b - i0 + s - 1) / s
+        else 0
+      in
+      if n >= st.fuel then raise Kernel_unfit;
+      let fuel_used = 1 + (n * fuel_per_iter) in
+      (* the generic loop errs out of fuel iff it starts with <= D;
+         reproduce the exact exhaustion point there *)
+      if st.fuel <= fuel_used then raise Kernel_unfit;
+      if n = 0 then (
+        (* empty loop: init + one failing bound check *)
+        st.fuel <- st.fuel - 1;
+        let stat = cached_loop_stat st lidx k.k_fsid in
+        stat.invocations <- stat.invocations + 1;
+        let t0 = cycles st in
+        charge st (k.k_icost +. k.k_bcost);
+        st.prof.int_ops <-
+          st.prof.int_ops + k.k_init_int_ops + k.k_bound_int_ops;
+        Array.unsafe_set fr k.k_idx_slot (VInt i0);
+        stat.min_trip <- min stat.min_trip 0;
+        stat.max_trip <- max stat.max_trip 0;
+        stat.cycles <- stat.cycles +. (cycles st -. t0))
+      else (
+        (* resolve each access site: float region, first and last
+           touched offsets in bounds, per-iteration stride *)
+        let datas = Array.make nsites [||] in
+        let offs = Array.make nsites 0 in
+        let deltas = Array.make nsites 0 in
+        let elems = Array.make nsites 0 in
+        let ids = Array.make nsites 0 in
+        let bytes_r = ref 0 and bytes_w = ref 0 in
+        for si = 0 to nsites - 1 do
+          let site = k.k_sites.(si) in
+          match Array.unsafe_get fr site.Resolve.ks_base with
+          | VPtr p ->
+              if p.mem_id < 0 || p.mem_id >= st.mem.Memory.next_id then
+                raise Kernel_unfit;
+              let r = Array.unsafe_get st.mem.Memory.regions p.mem_id in
+              (match r.Memory.elem_typ with
+              | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> ()
+              | _ -> raise Kernel_unfit);
+              let len = Array.length r.Memory.data in
+              let o0 = p.off + ieval i0 site.Resolve.ks_idx in
+              let olast =
+                p.off + ieval (i0 + ((n - 1) * s)) site.Resolve.ks_idx
+              in
+              if o0 < 0 || o0 >= len || olast < 0 || olast >= len then
+                raise Kernel_unfit;
+              datas.(si) <- r.Memory.data;
+              offs.(si) <- o0;
+              deltas.(si) <-
+                (if n > 1 then p.off + ieval (i0 + s) site.Resolve.ks_idx - o0
+                 else 0);
+              elems.(si) <- r.Memory.elem_bytes;
+              ids.(si) <- p.mem_id;
+              bytes_r := !bytes_r + (k.k_site_loads.(si) * r.Memory.elem_bytes);
+              bytes_w := !bytes_w + (k.k_site_stores.(si) * r.Memory.elem_bytes)
+          | _ -> raise Kernel_unfit
+        done;
+        let fregs = Array.make (max 1 k.k_nfregs) 0.0 in
+        Array.iter
+          (fun (slot, reg) ->
+            match Array.unsafe_get fr slot with
+            | VFloat f -> Array.unsafe_set fregs reg f
+            | VInt n -> Array.unsafe_set fregs reg (float_of_int n)
+            | VBool b -> Array.unsafe_set fregs reg (if b then 1.0 else 0.0)
+            | VUnit | VPtr _ -> raise Kernel_unfit)
+          k.k_in;
+        (* ---- committed: bulk accounting, then the fused body ---- *)
+        st.fuel <- st.fuel - fuel_used;
+        let stat = cached_loop_stat st lidx k.k_fsid in
+        stat.invocations <- stat.invocations + 1;
+        let t0 = cycles st in
+        let total = k.k_icost +. k.k_bcost +. (float_of_int n *. per_iter) in
+        charge st total;
+        st.bulk_cycles <- st.bulk_cycles +. total;
+        st.prof.int_ops <-
+          st.prof.int_ops + k.k_init_int_ops
+          + ((n + 1) * k.k_bound_int_ops)
+          + (n * (k.k_step_int_ops + k.k_int_ops));
+        st.prof.flops <- st.prof.flops + (n * k.k_flops);
+        if k.k_sfu > 0 then st.prof.sfu_ops <- st.prof.sfu_ops + (n * k.k_sfu);
+        if loads_per_iter > 0 then (
+          st.prof.loads <- st.prof.loads + (n * loads_per_iter);
+          st.prof.bytes_read <- st.prof.bytes_read + (n * !bytes_r));
+        if stores_per_iter > 0 then (
+          st.prof.stores <- st.prof.stores + (n * stores_per_iter);
+          st.prof.bytes_written <- st.prof.bytes_written + (n * !bytes_w));
+        stat.iterations <- stat.iterations + n;
+        let do_track = track && st.focus_depth > 0 in
+        (* read-modify-write store, tracking in the generic order:
+           read, track read, write, track write *)
+        let rmw fop si r =
+          let off = Array.unsafe_get offs si in
+          let data = Array.unsafe_get datas si in
+          let old =
+            match Array.unsafe_get data off with
+            | VFloat f -> f
+            | v -> to_float v
+          in
+          if do_track then
+            track_focus_access st ~write:false (Array.unsafe_get ids si) off
+              (Array.unsafe_get elems si);
+          Array.unsafe_set data off
+            (VFloat (fop old (Array.unsafe_get fregs r)));
+          if do_track then
+            track_focus_access st ~write:true (Array.unsafe_get ids si) off
+              (Array.unsafe_get elems si)
+        in
+        let iv = ref i0 in
+        for _ = 1 to n do
+          for pc = 0 to nbody - 1 do
+            match Array.unsafe_get body pc with
+            | Resolve.KLit (d, x) -> Array.unsafe_set fregs d x
+            | Resolve.KMov (d, a) ->
+                Array.unsafe_set fregs d (Array.unsafe_get fregs a)
+            | Resolve.KAdd (d, a, b) ->
+                Array.unsafe_set fregs d
+                  (Array.unsafe_get fregs a +. Array.unsafe_get fregs b)
+            | Resolve.KSub (d, a, b) ->
+                Array.unsafe_set fregs d
+                  (Array.unsafe_get fregs a -. Array.unsafe_get fregs b)
+            | Resolve.KMul (d, a, b) ->
+                Array.unsafe_set fregs d
+                  (Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+            | Resolve.KDiv (d, a, b) ->
+                Array.unsafe_set fregs d
+                  (Array.unsafe_get fregs a /. Array.unsafe_get fregs b)
+            | Resolve.KNeg (d, a) ->
+                Array.unsafe_set fregs d (-.Array.unsafe_get fregs a)
+            | Resolve.KItoF d ->
+                Array.unsafe_set fregs d (float_of_int !iv)
+            | Resolve.KMath1 (d, g, a) ->
+                Array.unsafe_set fregs d (g (Array.unsafe_get fregs a))
+            | Resolve.KMath2 (d, g, a, b) ->
+                Array.unsafe_set fregs d
+                  (g (Array.unsafe_get fregs a) (Array.unsafe_get fregs b))
+            | Resolve.KLoad (d, si) ->
+                let off = Array.unsafe_get offs si in
+                (match Array.unsafe_get (Array.unsafe_get datas si) off with
+                | VFloat f -> Array.unsafe_set fregs d f
+                | v -> Array.unsafe_set fregs d (to_float v));
+                if do_track then
+                  track_focus_access st ~write:false (Array.unsafe_get ids si)
+                    off (Array.unsafe_get elems si)
+            | Resolve.KStore (si, r) ->
+                let off = Array.unsafe_get offs si in
+                Array.unsafe_set (Array.unsafe_get datas si) off
+                  (VFloat (Array.unsafe_get fregs r));
+                if do_track then
+                  track_focus_access st ~write:true (Array.unsafe_get ids si)
+                    off (Array.unsafe_get elems si)
+            | Resolve.KStoreAdd (si, r) -> rmw ( +. ) si r
+            | Resolve.KStoreSub (si, r) -> rmw ( -. ) si r
+            | Resolve.KStoreMul (si, r) -> rmw ( *. ) si r
+            | Resolve.KStoreDiv (si, r) -> rmw ( /. ) si r
+          done;
+          for si = 0 to nsites - 1 do
+            Array.unsafe_set offs si
+              (Array.unsafe_get offs si + Array.unsafe_get deltas si)
+          done;
+          iv := !iv + s
+        done;
+        Array.iter
+          (fun (slot, reg) ->
+            Array.unsafe_set fr slot (VFloat (Array.unsafe_get fregs reg)))
+          k.k_out;
+        Array.unsafe_set fr k.k_idx_slot (VInt (i0 + (n * s)));
+        stat.min_trip <- min stat.min_trip n;
+        stat.max_trip <- max stat.max_trip n;
+        stat.cycles <- stat.cycles +. (cycles st -. t0))
   and cgroup (g : Resolve.group) : scode =
     let body = seq_codes (List.map cstmt g.gstmts) in
     if g.gcost = 0.0 then body
@@ -1073,6 +1492,65 @@ module Ir_walk = struct
             Profile.timer_stop st.prof (to_int (List.hd args));
             VUnit
         | Unknown fname -> err "call to unknown function '%s'" fname)
+    | EFolded { fval; f_flops; f_int_ops; f_dyn } ->
+        if f_dyn <> 0.0 then charge st f_dyn;
+        if f_flops <> 0 then st.prof.flops <- st.prof.flops + f_flops;
+        if f_int_ops <> 0 then st.prof.int_ops <- st.prof.int_ops + f_int_ops;
+        fval
+    | EArithF (op, fresid, a, b) ->
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        if fresid <> 0.0 then charge st fresid;
+        st.prof.flops <- st.prof.flops + 1;
+        VFloat
+          (match op with
+          | Minic.Ast.Add -> to_float va +. to_float vb
+          | Minic.Ast.Sub -> to_float va -. to_float vb
+          | Minic.Ast.Mul -> to_float va *. to_float vb
+          | _ -> assert false)
+    | EArithI (op, a, b) ->
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        st.prof.int_ops <- st.prof.int_ops + 1;
+        VInt
+          (match op with
+          | Minic.Ast.Add -> to_int va + to_int vb
+          | Minic.Ast.Sub -> to_int va - to_int vb
+          | Minic.Ast.Mul -> to_int va * to_int vb
+          | _ -> assert false)
+    | EDivF (a, b) ->
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        charge st Profile.Cost.float_div;
+        st.prof.flops <- st.prof.flops + 1;
+        VFloat (to_float va /. to_float vb)
+    | EDivI (a, b) ->
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        charge st Profile.Cost.int_op;
+        st.prof.int_ops <- st.prof.int_ops + 1;
+        let d = to_int vb in
+        if d = 0 then err "integer division by zero";
+        VInt (to_int va / d)
+    | ECmpF (op, a, b) ->
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        VBool (do_cmp op true va vb)
+    | ECmpI (op, a, b) ->
+        let va = eval_expr st frame a in
+        let vb = eval_expr st frame b in
+        VBool (do_cmp op false va vb)
+    | EHoisted { hslot; h_flops; h_sfu; h_dyn; horig } -> (
+        match frame.(hslot) with
+        | VFloat _ as v ->
+            if h_dyn <> 0.0 then charge st h_dyn;
+            if h_flops <> 0 then st.prof.flops <- st.prof.flops + h_flops;
+            if h_sfu <> 0 then st.prof.sfu_ops <- st.prof.sfu_ops + h_sfu;
+            v
+        | _ ->
+            let v = eval_expr st frame horig in
+            frame.(hslot) <- v;
+            v)
 
   and eval_user_call st idx args =
     (* the call's [Cost.call] cycles were batched by the caller's group
@@ -1095,6 +1573,16 @@ module Ir_walk = struct
     result
 
   and exec_stmt st frame (s : Resolve.stmt) =
+    match s with
+    | SHoistReset slots ->
+        (* synthetic bookkeeping: free of fuel and cycles *)
+        List.iter (fun i -> frame.(i) <- VUnit) slots
+    | SFused { forig; _ } ->
+        (* the walker is the semantic reference: always run the loop *)
+        exec_stmt st frame forig
+    | s -> exec_plain_stmt st frame s
+
+  and exec_plain_stmt st frame (s : Resolve.stmt) =
     spend_fuel st;
     match s with
     | SDeclVar { slot; typ; init } ->
@@ -1181,6 +1669,15 @@ module Ir_walk = struct
         in
         raise (Return_exc v)
     | SBlock b -> exec_block st frame b
+    | SDrop { dtyp; drhs } -> (
+        match drhs with
+        | None -> ()
+        | Some e -> (
+            let v = eval_expr st frame e in
+            match dtyp with Some t -> ignore (coerce t v) | None -> ()))
+    | SHoistReset _ | SFused _ ->
+        (* dispatched fuel-free by [exec_stmt] *)
+        assert false
 
   and exec_group st frame (g : Resolve.group) =
     if g.gcost <> 0.0 then charge st g.gcost;
@@ -1201,17 +1698,25 @@ type run = {
   return_value : Value.t;
 }
 
+(** Compile an already-resolved slot IR to threaded code, without
+    running the optimizer — the entry point for per-pass identity tests
+    that supply their own (partially) optimized IR. *)
+let compile_resolved (cp : Resolve.t) : compiled =
+  {
+    cp;
+    plain = lazy (compile_variant cp ~track:false);
+    tracking = lazy (compile_variant cp ~track:true);
+  }
+
 (** Compile a program to threaded code once; the result can be executed
-    many times with {!run_compiled}.  The two closure variants are
-    compiled lazily on first use. *)
+    many times with {!run_compiled}.  The slot IR is optimized by
+    {!Opt.optimize} first unless [PSAFLOW_NO_OPT] is set.  The two
+    closure variants are compiled lazily on first use. *)
 let compile p : compiled =
   Flow_obs.Trace.with_span ~cat:"interp" "interp.compile" (fun () ->
       let cp = Resolve.compile p in
-      {
-        cp;
-        plain = lazy (compile_variant cp ~track:false);
-        tracking = lazy (compile_variant cp ~track:true);
-      })
+      let cp = if Opt.is_enabled () then Opt.optimize cp else cp in
+      compile_resolved cp)
 
 let make_state ?focus ~fuel (cp : Resolve.t) =
   let focus_idx =
@@ -1235,6 +1740,7 @@ let make_state ?focus ~fuel (cp : Resolve.t) =
     focus_order = [];
     fuel;
     loop_cache = [||];
+    bulk_cycles = 0.0;
     cyc = [| 0.0 |];
   }
 
@@ -1255,6 +1761,9 @@ let run_compiled ?focus ?(fuel = 200_000_000) (c : compiled) : run =
   Flow_obs.Metrics.incr Flow_obs.Metrics.global "interp_runs";
   Flow_obs.Metrics.observe Flow_obs.Metrics.global "interp_virtual_cycles"
     st.prof.cycles;
+  if st.bulk_cycles > 0.0 then
+    Flow_obs.Metrics.observe Flow_obs.Metrics.global "interp_bulk_cycles"
+      st.bulk_cycles;
   Flow_obs.Trace.add_args
     [ ("virtual_cycles", Flow_obs.Attr.Float st.prof.cycles) ];
   { profile = st.prof; output = Buffer.contents st.out; return_value }

@@ -38,8 +38,15 @@ val run : ?focus:string -> ?fuel:int -> Minic.Ast.program -> run
 
 (** Compile a program to threaded code once; the result can be executed
     many times with {!run_compiled} without re-resolving or
-    re-compiling. *)
+    re-compiling.  The slot IR is first optimized by {!Opt.optimize}
+    unless the [PSAFLOW_NO_OPT] environment knob disables it. *)
 val compile : Minic.Ast.program -> compiled
+
+(** Compile an already-resolved slot IR to threaded code without
+    invoking the optimizer stage.  The entry point for per-pass
+    bit-identity tests, which optimize with an explicit {!Opt.config}
+    and compare against {!run_ir} on the raw IR. *)
+val compile_resolved : Resolve.t -> compiled
 
 (** Run an already-compiled program from [main].  Equivalent to {!run}
     on the source program. *)

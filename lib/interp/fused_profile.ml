@@ -18,7 +18,15 @@
     requesting several of them for the same [(program, focus)] costs one
     interpreter run, and the underlying {!Profile_cache} (keyed on the
     same request) dedupes the run across analysis call sites, flow
-    branches, DSE candidates and service jobs process-wide. *)
+    branches, DSE candidates and service jobs process-wide.
+
+    The run behind a fused profile executes on the production engine —
+    slot IR optimized by {!Opt} (constant folding through kernel
+    specialization), then threaded ({!Eval.compile}).  Every optimizer
+    pass preserves bit-identity with the reference walker
+    ({!Eval.run_ir}), so the projections are unaffected by
+    [PSAFLOW_NO_OPT] and by which passes ran — asserted per benchmark
+    and per pass by the test suite. *)
 
 type t = {
   source : Minic.Ast.program;  (** the program that was executed *)

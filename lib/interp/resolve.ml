@@ -56,6 +56,89 @@ type callee =
   | Timer_stop
   | Unknown of string  (** unknown function: runtime error when called *)
 
+(* ------------------------------------------------------------------ *)
+(* Optimizer extensions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The constructors and kernel types below are never produced by
+   [compile]; only the slot-IR optimizer ({!Opt}) builds them.  Both
+   execution engines (the threaded compiler and the reference walker in
+   {!Eval}) interpret them, and every one carries enough statically
+   counted information to replay the exact counter bumps and dynamic
+   cycle charges of the unoptimized form — see DESIGN.md §13. *)
+
+(** Silent integer expression, evaluated by the specialized-kernel entry
+    protocol without charging cycles or bumping counters (those are
+    charged in bulk from statically counted totals).  [IIdx] is the
+    current loop index; [ISlot] reads a local slot with [Value.to_int]
+    semantics and aborts to the generic loop on non-numeric values. *)
+type iexpr =
+  | ILit of int
+  | IIdx
+  | ISlot of int
+  | IAdd of iexpr * iexpr
+  | ISub of iexpr * iexpr
+  | IMul of iexpr * iexpr
+  | INeg of iexpr
+
+(** One float-register instruction of a specialized loop body.
+    Registers index a per-invocation [float array]; memory accesses go
+    through numbered {!ksite}s whose element offsets advance by a
+    constant stride per iteration. *)
+type kinstr =
+  | KLit of int * float  (** dst <- constant *)
+  | KMov of int * int
+  | KAdd of int * int * int  (** dst, a, b *)
+  | KSub of int * int * int
+  | KMul of int * int * int
+  | KDiv of int * int * int
+  | KNeg of int * int
+  | KItoF of int  (** dst <- float of the current loop index *)
+  | KMath1 of int * (float -> float) * int
+  | KMath2 of int * (float -> float -> float) * int * int
+  | KLoad of int * int  (** dst <- site *)
+  | KStore of int * int  (** site <- src ([Set]) *)
+  | KStoreAdd of int * int  (** site (+)= src *)
+  | KStoreSub of int * int
+  | KStoreMul of int * int
+  | KStoreDiv of int * int
+
+(** One memory-access site: base-pointer slot plus an element index
+    affine in the loop variable. *)
+type ksite = { ks_base : int; ks_idx : iexpr }
+
+(** A specialized innermost counted loop: straight-line float body over
+    register banks and affine sites.  All per-iteration virtual costs
+    are pre-counted so the executor can charge [n] iterations in bulk,
+    bit-identically to the generic loop. *)
+type kernel = {
+  k_body : kinstr array;
+  k_nfregs : int;
+  k_sites : ksite array;
+  k_site_loads : int array;  (** per-iteration load accesses, per site *)
+  k_site_stores : int array;  (** per-iteration store accesses, per site *)
+  k_in : (int * int) array;  (** (slot, freg) read at loop entry *)
+  k_out : (int * int) array;  (** (slot, freg) written back at loop exit *)
+  k_idx_slot : int;
+  k_fsid : int;
+  k_inclusive : bool;
+  k_init : iexpr;
+  k_bound : iexpr;
+  k_step : iexpr;
+  k_nstmts : int;  (** body statements: fuel per iteration is [1 + k_nstmts] *)
+  k_flops : int;  (** per-iteration flop bumps of the body *)
+  k_sfu : int;  (** per-iteration SFU-op bumps *)
+  k_int_ops : int;  (** per-iteration int-op bumps (body + index exprs) *)
+  k_init_int_ops : int;
+  k_bound_int_ops : int;  (** bumped [n+1] times, once per bound check *)
+  k_step_int_ops : int;
+  k_dyn_cycles : float;  (** per-iteration dynamic cycle charges *)
+  k_gcost : float;  (** body group's static cost *)
+  k_icost : float;  (** init expression's static cost *)
+  k_bcost : float;  (** branch + bound cost, charged [n+1] times *)
+  k_scost : float;  (** step expression's static cost *)
+}
+
 (** [ecost] is the statically-known cycle cost of evaluating the
     expression once; dynamic residues (float vs int arithmetic, division,
     short-circuit right operands, callee bodies) are charged at run
@@ -78,6 +161,28 @@ and enode =
   | EIndex of expr * expr
   | ECast of Minic.Ast.typ * expr
   | ECall of { callee : callee; cargs : expr list }
+  | EFolded of { fval : Value.t; f_flops : int; f_int_ops : int; f_dyn : float }
+      (** constant-folded subtree: yields [fval] while replaying the
+          folded subtree's counter bumps and dynamic cycle charges
+          (the static [ecost] of the subtree is kept on the node) *)
+  | EArithF of Minic.Ast.binop * float * expr * expr
+      (** [EArith] whose float path is statically known to be taken *)
+  | EArithI of Minic.Ast.binop * expr * expr
+      (** [EArith] whose int path is statically known to be taken *)
+  | EDivF of expr * expr
+  | EDivI of expr * expr
+  | ECmpF of Minic.Ast.binop * expr * expr
+  | ECmpI of Minic.Ast.binop * expr * expr
+  | EHoisted of {
+      hslot : int;  (** hidden cache slot, reset by {!SHoistReset} *)
+      h_flops : int;
+      h_sfu : int;
+      h_dyn : float;
+      horig : expr;
+    }
+      (** loop-invariant float subtree: first evaluation per loop
+          invocation runs [horig] and caches the result; later ones
+          replay the counted bumps and return the cached value *)
 
 type stmt =
   | SDeclVar of { slot : var_ref; typ : Minic.Ast.typ; init : expr option }
@@ -108,6 +213,16 @@ type stmt =
     }
   | SReturn of expr option
   | SBlock of block
+  | SDrop of { dtyp : Minic.Ast.typ option; drhs : expr option }
+      (** dead write, kept for its observable effects only: spends one
+          fuel unit, evaluates [drhs], and replays the declaration
+          coercion's error check without storing the value *)
+  | SHoistReset of int list
+      (** invalidate {!EHoisted} cache slots; free of fuel and cycles *)
+  | SFused of { forig : stmt; kern : kernel }
+      (** specialized loop: [kern] runs when its entry preconditions
+          hold, else the faithfully compiled [forig] (an {!SFor}) runs;
+          both share one loop-stat identity *)
 
 (** Straight-line run of statements whose static cost [gcost] is charged
     once at group entry. *)
@@ -182,10 +297,18 @@ let rec expr_may_time mt (e : expr) =
   match e.e with
   | ELit _ | EVar _ -> false
   | ENeg a | ENot a | ECast (_, a) -> expr_may_time mt a
+  | EFolded _ -> false
+  | EHoisted h -> expr_may_time mt h.horig
   | EArith (_, _, a, b)
+  | EArithF (_, _, a, b)
+  | EArithI (_, a, b)
   | EDiv (a, b)
+  | EDivF (a, b)
+  | EDivI (a, b)
   | EMod (a, b)
   | ECmp (_, a, b)
+  | ECmpF (_, a, b)
+  | ECmpI (_, a, b)
   | EAnd (a, b)
   | EOr (a, b)
   | EIndex (a, b) ->

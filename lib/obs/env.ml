@@ -51,3 +51,17 @@ let int_opt ~name ~min:lo () =
     unparsable. *)
 let int ~name ~default ~min () =
   match int_opt ~name ~min () with Some v -> v | None -> default
+
+(** Read boolean kill-switch knob [name]: true iff the variable is set
+    to ["1"], ["true"] or ["yes"] (the [PSAFLOW_NO_CACHE] convention,
+    shared by [PSAFLOW_NO_OPT]).  Any other value — including empty —
+    leaves the switch off, with a once-per-process warning so a typo'd
+    [PSAFLOW_NO_OPT=on] does not silently run the optimizer. *)
+let flag ~name () =
+  match Sys.getenv_opt name with
+  | None -> false
+  | Some ("1" | "true" | "yes") -> true
+  | Some raw ->
+      warn_once (name ^ "#flag")
+        "%s=%S is not one of 1/true/yes; treating the switch as off" name raw;
+      false

@@ -11,8 +11,11 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
-echo "== perf smoke (bench/main.exe perf --quick) =="
-dune exec bench/main.exe -- perf --quick
+echo "== perf gate (bench/main.exe perf --quick + regression check) =="
+# Runs the quick perf bench, checks every outputs_identical flag and
+# fails on a >30% interp-throughput regression vs the committed
+# BENCH_psaflow.json.
+sh scripts/perf_gate.sh
 
 # The fused single-pass profile bounds the cold flow at one interpreter
 # execution per (benchmark, workload point, focus) request: 3 per
@@ -23,12 +26,13 @@ INTERP_RUNS=$(sed -n 's/.*"interp_runs": *\([0-9]*\).*/\1/p' BENCH_psaflow.json 
   || { echo "FAIL: BENCH_psaflow.json reports no interp_runs"; exit 1; }
 [ "$INTERP_RUNS" -le 15 ] \
   || { echo "FAIL: cold flow took $INTERP_RUNS interpreter runs (budget 15)"; exit 1; }
-if grep -q '"outputs_identical": false' BENCH_psaflow.json; then
-  echo "FAIL: perf bench reports non-identical outputs"; exit 1
-fi
-grep -q '"outputs_identical": true' BENCH_psaflow.json \
-  || { echo "FAIL: perf bench reports no output-identity checks"; exit 1; }
-echo "interp_runs=$INTERP_RUNS (budget 15), outputs identical"
+echo "interp_runs=$INTERP_RUNS (budget 15)"
+
+echo "== report smoke (psaflow report --json --strict) =="
+# The freshly written BENCH_psaflow.json must satisfy the strict report:
+# no missing/stale perf fields degraded to null.
+_build/default/bin/psaflow.exe report --json --strict >/dev/null \
+  || { echo "FAIL: report --json --strict rejected fresh perf data"; exit 1; }
 
 PSAFLOW=_build/default/bin/psaflow.exe
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/psaflow-check-XXXXXX.sock")

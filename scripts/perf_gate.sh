@@ -1,0 +1,58 @@
+#!/bin/sh
+# Perf-regression gate: run the quick perf bench (same code paths as the
+# full run, reduced repetitions) and compare the threaded-interpreter
+# throughput against the committed BENCH_psaflow.json baseline.
+#
+# Fails when:
+#   - any outputs_identical check in the fresh BENCH_psaflow.json is
+#     false (an engine or optimizer pass diverged from the reference
+#     walker), or
+#   - interp.threaded.mcycles_per_s regressed more than 30% against the
+#     committed baseline (skipped with a notice when HEAD has no
+#     baseline, e.g. on the first commit of the format).
+#
+# Run from anywhere; operates on the repo this script lives in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# The committed baseline, captured before the bench overwrites the
+# working-tree file.
+BASELINE=$(git show HEAD:BENCH_psaflow.json 2>/dev/null || true)
+
+dune exec bench/main.exe -- perf --quick
+
+# interp.threaded.mcycles_per_s: the first "mcycles_per_s" after the
+# "threaded" key (the pretty-printed field order is stable).
+threaded_mcycles() {
+  awk '/"threaded"/ { t = 1 }
+       t && /"mcycles_per_s"/ {
+         match($0, /[0-9][0-9.eE+-]*/)
+         print substr($0, RSTART, RLENGTH)
+         exit
+       }'
+}
+
+if grep -q '"outputs_identical": false' BENCH_psaflow.json; then
+  echo "FAIL: perf bench reports non-identical outputs"; exit 1
+fi
+grep -q '"outputs_identical": true' BENCH_psaflow.json \
+  || { echo "FAIL: perf bench reports no output-identity checks"; exit 1; }
+
+NEW=$(threaded_mcycles <BENCH_psaflow.json)
+[ -n "$NEW" ] \
+  || { echo "FAIL: BENCH_psaflow.json has no interp.threaded.mcycles_per_s"; exit 1; }
+
+BASE=$(printf '%s\n' "$BASELINE" | threaded_mcycles)
+if [ -z "$BASE" ]; then
+  echo "perf gate: no committed baseline (new BENCH format?); skipping \
+regression check (measured $NEW Mcycles/s)"
+  exit 0
+fi
+
+# regression > 30%  <=>  NEW < 0.7 * BASE
+if awk -v new="$NEW" -v base="$BASE" 'BEGIN { exit !(new < 0.7 * base) }'; then
+  echo "FAIL: interp.threaded.mcycles_per_s regressed >30%: $NEW vs baseline $BASE"
+  exit 1
+fi
+echo "perf gate: $NEW Mcycles/s vs baseline $BASE (>= 70% required), outputs identical"

@@ -542,6 +542,120 @@ let uninformed_parallel_identical () =
   let par = with_cache_off (fun () -> with_jobs 4 run) in
   Alcotest.(check bool) "sequential = parallel designs" true (seq = par)
 
+(* ------------------------------------------------------------------ *)
+(* Slot-IR optimizer: per-pass bit-identity vs the reference walker    *)
+(* ------------------------------------------------------------------ *)
+
+let pass_configs =
+  let no_p = I.Opt.no_passes in
+  [
+    ("fold", { no_p with I.Opt.fold = true });
+    ("strength", { no_p with I.Opt.strength = true });
+    ("dead", { no_p with I.Opt.dead = true });
+    ("hoist", { no_p with I.Opt.hoist = true });
+    ("specialize", { no_p with I.Opt.specialize = true });
+    ("composed", I.Opt.all_passes);
+  ]
+
+(* Every pass alone, and all composed, must leave every observable of a
+   run untouched — profile totals, per-loop stats, kernel observations,
+   output, return value — bare and kernel-focused, vs the reference
+   walker on the un-optimized slot IR. *)
+let check_opt_identity (b : Benchmarks.Bench_app.t) () =
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let ir = I.Resolve.compile p in
+  let walker = run_fingerprint (I.Eval.run_ir ir) in
+  let ex, kernel, _ = Psa.Std_flow.prepare_kernel p in
+  let fir = I.Resolve.compile ex in
+  let fwalker = run_fingerprint (I.Eval.run_ir ~focus:kernel fir) in
+  List.iter
+    (fun (name, config) ->
+      let bare =
+        I.Eval.run_compiled
+          (I.Eval.compile_resolved (I.Opt.optimize ~config ir))
+      in
+      Alcotest.(check bool)
+        (name ^ ": bare run identical") true
+        (run_fingerprint bare = walker);
+      let focused =
+        I.Eval.run_compiled ~focus:kernel
+          (I.Eval.compile_resolved (I.Opt.optimize ~config fir))
+      in
+      Alcotest.(check bool)
+        (name ^ ": focused run identical") true
+        (run_fingerprint focused = fwalker))
+    pass_configs
+
+(* [PSAFLOW_NO_OPT] mirrors [PSAFLOW_NO_CACHE]: the shared flag parser
+   accepts 1/true/yes only, and [Opt.set_enabled false] makes
+   [Eval.compile] skip the optimizer entirely — observable through the
+   published opt_* counters — without changing any run observable. *)
+let opt_kill_switch () =
+  Unix.putenv "PSAFLOW_TEST_FLAG_ON" "1";
+  Alcotest.(check bool)
+    "1 turns a flag on" true
+    (Flow_obs.Env.flag ~name:"PSAFLOW_TEST_FLAG_ON" ());
+  Unix.putenv "PSAFLOW_TEST_FLAG_TYPO" "on";
+  Alcotest.(check bool)
+    "a typo'd value leaves the flag off" false
+    (Flow_obs.Env.flag ~name:"PSAFLOW_TEST_FLAG_TYPO" ());
+  Alcotest.(check bool)
+    "unset is off" false
+    (Flow_obs.Env.flag ~name:"PSAFLOW_TEST_FLAG_UNSET" ());
+  let was = I.Opt.is_enabled () in
+  Fun.protect ~finally:(fun () -> I.Opt.set_enabled was) @@ fun () ->
+  let b = List.nth Benchmarks.Registry.all 1 (* nbody *) in
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let walker = run_fingerprint (I.Eval.run_ir (I.Resolve.compile p)) in
+  let specialized () =
+    Flow_obs.Metrics.counter_value Flow_obs.Metrics.global
+      "opt_kernels_specialized"
+  in
+  I.Opt.set_enabled false;
+  let c0 = specialized () in
+  let off = I.Eval.run_compiled (I.Eval.compile p) in
+  Alcotest.(check int) "optimizer skipped when disabled" c0 (specialized ());
+  I.Opt.set_enabled true;
+  let on = I.Eval.run_compiled (I.Eval.compile p) in
+  Alcotest.(check bool) "optimizer ran when enabled" true (specialized () > c0);
+  Alcotest.(check bool)
+    "disabled run = walker" true
+    (run_fingerprint off = walker);
+  Alcotest.(check bool) "enabled run = walker" true (run_fingerprint on = walker)
+
+(* The per-pass identity obligation, over generated programs. *)
+let opt_equivalence_prop =
+  QCheck.Test.make ~count:15
+    ~name:"optimizer passes = walker on generated programs" program_arb
+    (fun src ->
+      let p = Minic.Parser.parse_program src in
+      let ir = I.Resolve.compile p in
+      let walker = run_fingerprint (I.Eval.run_ir ir) in
+      let fwalker = run_fingerprint (I.Eval.run_ir ~focus:"work" ir) in
+      List.for_all
+        (fun (name, config) ->
+          let compiled =
+            I.Eval.compile_resolved (I.Opt.optimize ~config ir)
+          in
+          if run_fingerprint (I.Eval.run_compiled compiled) <> walker then
+            QCheck.Test.fail_reportf "%s: bare run diverges" name;
+          if
+            run_fingerprint (I.Eval.run_compiled ~focus:"work" compiled)
+            <> fwalker
+          then QCheck.Test.fail_reportf "%s: focused run diverges" name;
+          true)
+        pass_configs)
+
+let opt_tests =
+  List.map
+    (fun (b : Benchmarks.Bench_app.t) ->
+      Alcotest.test_case b.id `Slow (check_opt_identity b))
+    Benchmarks.Registry.all
+  @ [
+      Alcotest.test_case "kill switch" `Quick opt_kill_switch;
+      QCheck_alcotest.to_alcotest opt_equivalence_prop;
+    ]
+
 let () =
   Alcotest.run "perf"
     [
@@ -559,6 +673,7 @@ let () =
           Alcotest.test_case "jobs override" `Quick pool_jobs_env;
         ] );
       ("fused", fused_tests);
+      ("optimizer", opt_tests);
       ("engine", [ QCheck_alcotest.to_alcotest engine_equivalence_prop ]);
       ( "dse-parallel",
         [

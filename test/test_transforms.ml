@@ -310,6 +310,131 @@ let omp_tests =
           (Minic_interp.Eval.run p').output);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Observational equivalence of the unroll and reduction transforms    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random kernels with one fixed-trip inner loop (unroll fodder) and an
+   indirect array accumulation (reduction-annotation fodder). *)
+let transform_program_gen =
+  let open QCheck.Gen in
+  let rec fexpr leaves depth =
+    if depth = 0 then oneofl leaves
+    else
+      frequency
+        [
+          (2, oneofl leaves);
+          ( 3,
+            let* x = fexpr leaves (depth - 1)
+            and* y = fexpr leaves (depth - 1)
+            and* op = oneofl [ "+"; "-"; "*" ] in
+            return (Printf.sprintf "(%s %s %s)" x op y) );
+          ( 1,
+            let* x = fexpr leaves (depth - 1) in
+            return (Printf.sprintf "sqrt(fabs(%s))" x) );
+          ( 1,
+            let* x = fexpr leaves (depth - 1) in
+            return (Printf.sprintf "(%s / 1.25)" x) );
+        ]
+  in
+  let inner_leaves = [ "a[i]"; "a[j]"; "t"; "0.25"; "1.5"; "(double)j" ] in
+  let outer_leaves = [ "a[i]"; "t"; "0.5"; "(double)i" ] in
+  let* bound = int_range 2 6
+  and* e_inner = fexpr inner_leaves 2
+  and* e_outer = fexpr outer_leaves 2 in
+  return
+    (Printf.sprintf
+       {|
+void work(double* a, int* b, double* out, int n) {
+  for (int i = 0; i < n; i++) {
+    double t = 0.0;
+    for (int j = 0; j < %d; j++) {
+      t += %s;
+    }
+    out[b[i]] += 0.125 * (%s);
+    a[i] = 0.5 * t + 0.25;
+  }
+}
+
+int main() {
+  int n = 32;
+  double a[n];
+  int b[n];
+  double out[n];
+  for (int s = 0; s < n; s++) {
+    a[s] = rand01();
+    b[s] = (s * 5) %% 8;
+    out[s] = 0.0;
+  }
+  work(a, b, out, n);
+  double acc = 0.0;
+  for (int s = 0; s < n; s++) {
+    acc += out[s] + a[s];
+  }
+  print_float(acc);
+  return 0;
+}
+|}
+       bound e_inner e_outer)
+
+let transform_arb = QCheck.make ~print:Fun.id transform_program_gen
+
+(* What "observationally equivalent" means here: identical interpreter
+   output and an identical data in/out set for the kernel — per-argument
+   bytes moved and call count.  The kernel-cycle estimate is excluded:
+   unrolling removes loop bookkeeping, so its cycles legitimately
+   change. *)
+let observables p ~kernel =
+  let dio = Analysis.Data_inout.analyze p ~kernel in
+  ( (Minic_interp.Eval.run p).output,
+    (dio.Analysis.Data_inout.kernel, dio.calls, dio.args, dio.total_in,
+     dio.total_out) )
+
+let unroll_equivalence_prop =
+  QCheck.Test.make ~count:25
+    ~name:"unroll: transformed = original (output + data in/out)"
+    transform_arb (fun src ->
+      let p = parse src in
+      let before = observables p ~kernel:"work" in
+      let p', n = Unroll.unroll_fixed_inner_loops p ~kernel:"work" in
+      if n < 1 then QCheck.Test.fail_report "fixed inner loop not unrolled";
+      Minic.Typecheck.check_program p';
+      observables p' ~kernel:"work" = before)
+
+let reduction_equivalence_prop =
+  QCheck.Test.make ~count:25
+    ~name:"reduction: annotated = original (output + data in/out)"
+    transform_arb (fun src ->
+      let p = parse src in
+      let before = observables p ~kernel:"work" in
+      let p', _ = Reduction.remove_array_dependencies p ~kernel:"work" in
+      Minic.Typecheck.check_program p';
+      observables p' ~kernel:"work" = before)
+
+(* The same obligation on the five paper benchmarks' extracted kernels. *)
+let check_bench_equivalence (b : Benchmarks.Bench_app.t) () =
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let ex, kernel, _ = Psa.Std_flow.prepare_kernel p in
+  let before = observables ex ~kernel in
+  let unrolled, _ = Unroll.unroll_fixed_inner_loops ex ~kernel in
+  Alcotest.(check bool)
+    "unrolled kernel observationally equivalent" true
+    (observables unrolled ~kernel = before);
+  let annotated, _ = Reduction.remove_array_dependencies ex ~kernel in
+  Alcotest.(check bool)
+    "reduction-annotated kernel observationally equivalent" true
+    (observables annotated ~kernel = before)
+
+let equivalence_tests =
+  [
+    QCheck_alcotest.to_alcotest unroll_equivalence_prop;
+    QCheck_alcotest.to_alcotest reduction_equivalence_prop;
+  ]
+  @ List.map
+      (fun (b : Benchmarks.Bench_app.t) ->
+        Alcotest.test_case b.id `Slow (check_bench_equivalence b))
+      Benchmarks.Registry.all
+
 let () =
   Alcotest.run "transforms"
     [
@@ -318,4 +443,5 @@ let () =
       ("single_precision", sp_tests);
       ("unroll", unroll_tests);
       ("omp", omp_tests);
+      ("equivalence", equivalence_tests);
     ]
