@@ -427,6 +427,9 @@ type compiled = {
   cp : Resolve.t;
   plain : variant Lazy.t;
   tracking : variant Lazy.t;
+  vm : Bytecode.program Lazy.t;
+      (** flat register-bytecode lowering, the {!run_compiled} default
+          engine unless [PSAFLOW_NO_VM] is set *)
 }
 
 let seq2 s1 s2 st fr = s1 st fr; s2 st fr
@@ -1687,6 +1690,891 @@ module Ir_walk = struct
     List.iter (exec_group st frame) b
 end
 
+(* ================================================================== *)
+(* Flat register-bytecode VM                                           *)
+(* ================================================================== *)
+
+module B = Bytecode
+
+(* [PSAFLOW_NO_VM] kill switch, following the [Env.flag] grammar like
+   [PSAFLOW_NO_OPT]: when set, {!run_compiled} dispatches to the PR-5
+   threaded-code engine bit-for-bit. *)
+let vm_enabled = ref (not (Flow_obs.Env.flag ~name:"PSAFLOW_NO_VM" ()))
+let set_vm_enabled b = vm_enabled := b
+let vm_is_enabled () = !vm_enabled
+
+(* Domain budget for sharded kernel execution: explicit override (used
+   by tests and the bench harness), then [PSAFLOW_VM_DOMAINS], then the
+   machine (capped like [Flow_par.Pool]). *)
+let vm_jobs_override : int option ref = ref None
+
+let vm_jobs () =
+  match !vm_jobs_override with
+  | Some n -> max 1 n
+  | None ->
+      Flow_obs.Env.int ~name:"PSAFLOW_VM_DOMAINS"
+        ~default:(min 8 (Domain.recommended_domain_count ()))
+        ~min:1 ()
+
+(* Minimum iteration count before a shardable kernel actually spawns
+   domains — below this the fork/join overhead dominates. *)
+let vm_shard_min = ref 65536
+
+let while_iter_cost = Profile.Cost.loop_iter +. Profile.Cost.branch
+let for_iter_cost = Profile.Cost.loop_iter +. Profile.Cost.int_op
+
+let[@inline] vk_ld datas offs si =
+  match
+    Array.unsafe_get (Array.unsafe_get datas si) (Array.unsafe_get offs si)
+  with
+  | VFloat f -> f
+  | v -> to_float v
+
+let[@inline] vk_st datas offs si v =
+  Array.unsafe_set (Array.unsafe_get datas si) (Array.unsafe_get offs si)
+    (VFloat v)
+
+(* Run [count] iterations of a fused kernel micro-program, starting at
+   loop index [iv0] with site offsets [offs] (mutated in place).  Only
+   the sites in [adv] (nonzero stride) advance.  Pure float/array code:
+   all observable accounting was charged in bulk by the caller, so this
+   is also the unit of work a shard executes on its own domain. *)
+let vkern_iters (ops : B.kop array) (fregs : float array)
+    (datas : Value.t array array) (offs : int array) (deltas : int array)
+    (adv : int array) ~iv0 ~step ~count =
+  let nops = Array.length ops in
+  let nadv = Array.length adv in
+  let iv = ref iv0 in
+  for _ = 1 to count do
+    for pc = 0 to nops - 1 do
+      match Array.unsafe_get ops pc with
+      | B.OLit (d, x) -> Array.unsafe_set fregs d x
+      | B.OMov (d, a) -> Array.unsafe_set fregs d (Array.unsafe_get fregs a)
+      | B.OAdd (d, a, b) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a +. Array.unsafe_get fregs b)
+      | B.OSub (d, a, b) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a -. Array.unsafe_get fregs b)
+      | B.OMul (d, a, b) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+      | B.ODiv (d, a, b) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a /. Array.unsafe_get fregs b)
+      | B.ONeg (d, a) -> Array.unsafe_set fregs d (-.Array.unsafe_get fregs a)
+      | B.OItoF d -> Array.unsafe_set fregs d (float_of_int !iv)
+      | B.OMath1 (d, g, a) ->
+          Array.unsafe_set fregs d (g (Array.unsafe_get fregs a))
+      | B.OMath2 (d, g, a, b) ->
+          Array.unsafe_set fregs d
+            (g (Array.unsafe_get fregs a) (Array.unsafe_get fregs b))
+      | B.OLoad (d, si) -> Array.unsafe_set fregs d (vk_ld datas offs si)
+      | B.OStore (si, r) -> vk_st datas offs si (Array.unsafe_get fregs r)
+      | B.OStoreAdd (si, r) ->
+          vk_st datas offs si (vk_ld datas offs si +. Array.unsafe_get fregs r)
+      | B.OStoreSub (si, r) ->
+          vk_st datas offs si (vk_ld datas offs si -. Array.unsafe_get fregs r)
+      | B.OStoreMul (si, r) ->
+          vk_st datas offs si (vk_ld datas offs si *. Array.unsafe_get fregs r)
+      | B.OStoreDiv (si, r) ->
+          vk_st datas offs si (vk_ld datas offs si /. Array.unsafe_get fregs r)
+      | B.OLAddA (d, s, b) ->
+          Array.unsafe_set fregs d
+            (vk_ld datas offs s +. Array.unsafe_get fregs b)
+      | B.OLAddB (d, a, s) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a +. vk_ld datas offs s)
+      | B.OLSubA (d, s, b) ->
+          Array.unsafe_set fregs d
+            (vk_ld datas offs s -. Array.unsafe_get fregs b)
+      | B.OLSubB (d, a, s) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a -. vk_ld datas offs s)
+      | B.OLMulA (d, s, b) ->
+          Array.unsafe_set fregs d
+            (vk_ld datas offs s *. Array.unsafe_get fregs b)
+      | B.OLMulB (d, a, s) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a *. vk_ld datas offs s)
+      | B.OLDivA (d, s, b) ->
+          Array.unsafe_set fregs d
+            (vk_ld datas offs s /. Array.unsafe_get fregs b)
+      | B.OLDivB (d, a, s) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a /. vk_ld datas offs s)
+      | B.OAddAddA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a +. Array.unsafe_get fregs b
+            +. Array.unsafe_get fregs c)
+      | B.OAddAddB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            +. (Array.unsafe_get fregs a +. Array.unsafe_get fregs b))
+      | B.OAddSubA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a +. Array.unsafe_get fregs b
+            -. Array.unsafe_get fregs c)
+      | B.OAddSubB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            -. (Array.unsafe_get fregs a +. Array.unsafe_get fregs b))
+      | B.OAddMulA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a +. Array.unsafe_get fregs b)
+            *. Array.unsafe_get fregs c)
+      | B.OAddMulB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            *. (Array.unsafe_get fregs a +. Array.unsafe_get fregs b))
+      | B.OSubAddA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a -. Array.unsafe_get fregs b
+            +. Array.unsafe_get fregs c)
+      | B.OSubAddB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            +. (Array.unsafe_get fregs a -. Array.unsafe_get fregs b))
+      | B.OSubSubA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a -. Array.unsafe_get fregs b
+            -. Array.unsafe_get fregs c)
+      | B.OSubSubB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            -. (Array.unsafe_get fregs a -. Array.unsafe_get fregs b))
+      | B.OSubMulA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a -. Array.unsafe_get fregs b)
+            *. Array.unsafe_get fregs c)
+      | B.OSubMulB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            *. (Array.unsafe_get fregs a -. Array.unsafe_get fregs b))
+      | B.OMulAddA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+            +. Array.unsafe_get fregs c)
+      | B.OMulAddB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            +. (Array.unsafe_get fregs a *. Array.unsafe_get fregs b))
+      | B.OMulSubA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+            -. Array.unsafe_get fregs c)
+      | B.OMulSubB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            -. (Array.unsafe_get fregs a *. Array.unsafe_get fregs b))
+      | B.OMulMulA (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs a *. Array.unsafe_get fregs b
+            *. Array.unsafe_get fregs c)
+      | B.OMulMulB (d, a, b, c) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs c
+            *. (Array.unsafe_get fregs a *. Array.unsafe_get fregs b))
+      | B.OGDiv (d, g, a, q) ->
+          Array.unsafe_set fregs d
+            (g (Array.unsafe_get fregs a) /. Array.unsafe_get fregs q)
+      | B.ODivG (d, p, g, a) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs p /. g (Array.unsafe_get fregs a))
+      | B.OGMul (d, g, a, q) ->
+          Array.unsafe_set fregs d
+            (g (Array.unsafe_get fregs a) *. Array.unsafe_get fregs q)
+      | B.OMulG (d, p, g, a) ->
+          Array.unsafe_set fregs d
+            (Array.unsafe_get fregs p *. g (Array.unsafe_get fregs a))
+      | B.OAddStore (s, a, b) ->
+          vk_st datas offs s
+            (Array.unsafe_get fregs a +. Array.unsafe_get fregs b)
+      | B.OSubStore (s, a, b) ->
+          vk_st datas offs s
+            (Array.unsafe_get fregs a -. Array.unsafe_get fregs b)
+      | B.OMulStore (s, a, b) ->
+          vk_st datas offs s
+            (Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+      | B.ODivStore (s, a, b) ->
+          vk_st datas offs s
+            (Array.unsafe_get fregs a /. Array.unsafe_get fregs b)
+      | B.OMulMulAdd (d, a, b, p, q) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+            +. (Array.unsafe_get fregs p *. Array.unsafe_get fregs q))
+      | B.ODot3 (d, a, b, p, q, x, y) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+            +. (Array.unsafe_get fregs p *. Array.unsafe_get fregs q)
+            +. (Array.unsafe_get fregs x *. Array.unsafe_get fregs y))
+      | B.ODot3Add (d, a, b, p, q, x, y, e) ->
+          Array.unsafe_set fregs d
+            ((Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+            +. (Array.unsafe_get fregs p *. Array.unsafe_get fregs q)
+            +. (Array.unsafe_get fregs x *. Array.unsafe_get fregs y)
+            +. Array.unsafe_get fregs e)
+    done;
+    for j = 0 to nadv - 1 do
+      let si = Array.unsafe_get adv j in
+      Array.unsafe_set offs si
+        (Array.unsafe_get offs si + Array.unsafe_get deltas si)
+    done;
+    iv := !iv + step
+  done
+
+(* Specialized-kernel execution for the VM.  The entry protocol, the
+   bulk accounting and every [Kernel_unfit] abort point are copied
+   verbatim from the threaded engine's [ckernel]; only the committed
+   body differs — the fused micro-program runs instead of the kinstr
+   loop (and, when safe, is split across domains).  The focus-tracking
+   path needs per-access hooks in generic order, so it runs the
+   original kinstr body exactly like [ckernel]. *)
+let vkernel st ~track fr lidx (kp : B.kprog) =
+  let k = kp.B.kp_kern in
+  let iter_cost = Profile.Cost.loop_iter +. Profile.Cost.int_op in
+  let per_iter =
+    k.Resolve.k_bcost +. iter_cost +. k.Resolve.k_gcost
+    +. k.Resolve.k_dyn_cycles +. k.Resolve.k_scost
+  in
+  let body = k.Resolve.k_body in
+  let nbody = Array.length body in
+  let nsites = Array.length k.Resolve.k_sites in
+  let loads_per_iter = Array.fold_left ( + ) 0 k.Resolve.k_site_loads in
+  let stores_per_iter = Array.fold_left ( + ) 0 k.Resolve.k_site_stores in
+  let fuel_per_iter = 1 + k.Resolve.k_nstmts in
+  let rec ieval iv (ie : Resolve.iexpr) =
+    match ie with
+    | Resolve.ILit n -> n
+    | Resolve.IIdx -> iv
+    | Resolve.ISlot i -> (
+        match Array.unsafe_get fr i with
+        | VInt n -> n
+        | VBool b -> if b then 1 else 0
+        | VFloat _ | VUnit | VPtr _ -> raise Kernel_unfit)
+    | Resolve.IAdd (a, b) -> ieval iv a + ieval iv b
+    | Resolve.ISub (a, b) -> ieval iv a - ieval iv b
+    | Resolve.IMul (a, b) -> ieval iv a * ieval iv b
+    | Resolve.INeg a -> -ieval iv a
+  in
+  let i0 = ieval 0 k.Resolve.k_init in
+  let b = ieval 0 k.Resolve.k_bound in
+  let s = ieval 0 k.Resolve.k_step in
+  let sane v = -0x4000_0000_0000 < v && v < 0x4000_0000_0000 in
+  if s <= 0 || not (sane i0 && sane b && sane s) then raise Kernel_unfit;
+  let n =
+    if k.Resolve.k_inclusive then if i0 <= b then ((b - i0) / s) + 1 else 0
+    else if i0 < b then (b - i0 + s - 1) / s
+    else 0
+  in
+  if n >= st.fuel then raise Kernel_unfit;
+  let fuel_used = 1 + (n * fuel_per_iter) in
+  if st.fuel <= fuel_used then raise Kernel_unfit;
+  if n = 0 then (
+    st.fuel <- st.fuel - 1;
+    let stat = cached_loop_stat st lidx k.Resolve.k_fsid in
+    stat.invocations <- stat.invocations + 1;
+    let t0 = cycles st in
+    charge st (k.Resolve.k_icost +. k.Resolve.k_bcost);
+    st.prof.int_ops <-
+      st.prof.int_ops + k.Resolve.k_init_int_ops + k.Resolve.k_bound_int_ops;
+    Array.unsafe_set fr k.Resolve.k_idx_slot (VInt i0);
+    stat.min_trip <- min stat.min_trip 0;
+    stat.max_trip <- max stat.max_trip 0;
+    stat.cycles <- stat.cycles +. (cycles st -. t0))
+  else (
+    let datas = Array.make nsites [||] in
+    let offs = Array.make nsites 0 in
+    let deltas = Array.make nsites 0 in
+    let elems = Array.make nsites 0 in
+    let ids = Array.make nsites 0 in
+    let bytes_r = ref 0 and bytes_w = ref 0 in
+    for si = 0 to nsites - 1 do
+      let site = k.Resolve.k_sites.(si) in
+      match Array.unsafe_get fr site.Resolve.ks_base with
+      | VPtr p ->
+          if p.mem_id < 0 || p.mem_id >= st.mem.Memory.next_id then
+            raise Kernel_unfit;
+          let r = Array.unsafe_get st.mem.Memory.regions p.mem_id in
+          (match r.Memory.elem_typ with
+          | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> ()
+          | _ -> raise Kernel_unfit);
+          let len = Array.length r.Memory.data in
+          let o0 = p.off + ieval i0 site.Resolve.ks_idx in
+          let olast =
+            p.off + ieval (i0 + ((n - 1) * s)) site.Resolve.ks_idx
+          in
+          if o0 < 0 || o0 >= len || olast < 0 || olast >= len then
+            raise Kernel_unfit;
+          datas.(si) <- r.Memory.data;
+          offs.(si) <- o0;
+          deltas.(si) <-
+            (if n > 1 then p.off + ieval (i0 + s) site.Resolve.ks_idx - o0
+             else 0);
+          elems.(si) <- r.Memory.elem_bytes;
+          ids.(si) <- p.mem_id;
+          bytes_r :=
+            !bytes_r + (k.Resolve.k_site_loads.(si) * r.Memory.elem_bytes);
+          bytes_w :=
+            !bytes_w + (k.Resolve.k_site_stores.(si) * r.Memory.elem_bytes)
+      | _ -> raise Kernel_unfit
+    done;
+    let fregs = Array.make (max 1 k.Resolve.k_nfregs) 0.0 in
+    Array.iter
+      (fun (slot, reg) ->
+        match Array.unsafe_get fr slot with
+        | VFloat f -> Array.unsafe_set fregs reg f
+        | VInt n -> Array.unsafe_set fregs reg (float_of_int n)
+        | VBool b -> Array.unsafe_set fregs reg (if b then 1.0 else 0.0)
+        | VUnit | VPtr _ -> raise Kernel_unfit)
+      k.Resolve.k_in;
+    (* ---- committed: bulk accounting on the calling domain, exactly
+       like [ckernel] — execution below moves no observable, so the
+       profile is bit-identical for any shard count ---- *)
+    st.fuel <- st.fuel - fuel_used;
+    let stat = cached_loop_stat st lidx k.Resolve.k_fsid in
+    stat.invocations <- stat.invocations + 1;
+    let t0 = cycles st in
+    let total =
+      k.Resolve.k_icost +. k.Resolve.k_bcost +. (float_of_int n *. per_iter)
+    in
+    charge st total;
+    st.bulk_cycles <- st.bulk_cycles +. total;
+    st.prof.int_ops <-
+      st.prof.int_ops + k.Resolve.k_init_int_ops
+      + ((n + 1) * k.Resolve.k_bound_int_ops)
+      + (n * (k.Resolve.k_step_int_ops + k.Resolve.k_int_ops));
+    st.prof.flops <- st.prof.flops + (n * k.Resolve.k_flops);
+    if k.Resolve.k_sfu > 0 then
+      st.prof.sfu_ops <- st.prof.sfu_ops + (n * k.Resolve.k_sfu);
+    if loads_per_iter > 0 then (
+      st.prof.loads <- st.prof.loads + (n * loads_per_iter);
+      st.prof.bytes_read <- st.prof.bytes_read + (n * !bytes_r));
+    if stores_per_iter > 0 then (
+      st.prof.stores <- st.prof.stores + (n * stores_per_iter);
+      st.prof.bytes_written <- st.prof.bytes_written + (n * !bytes_w));
+    stat.iterations <- stat.iterations + n;
+    let do_track = track && st.focus_depth > 0 in
+    if do_track then (
+      (* focus tracking: run the original kinstr body with per-access
+         hooks in generic order, verbatim from [ckernel] *)
+      let rmw fop si r =
+        let off = Array.unsafe_get offs si in
+        let data = Array.unsafe_get datas si in
+        let old =
+          match Array.unsafe_get data off with
+          | VFloat f -> f
+          | v -> to_float v
+        in
+        track_focus_access st ~write:false (Array.unsafe_get ids si) off
+          (Array.unsafe_get elems si);
+        Array.unsafe_set data off
+          (VFloat (fop old (Array.unsafe_get fregs r)));
+        track_focus_access st ~write:true (Array.unsafe_get ids si) off
+          (Array.unsafe_get elems si)
+      in
+      let iv = ref i0 in
+      for _ = 1 to n do
+        for pc = 0 to nbody - 1 do
+          match Array.unsafe_get body pc with
+          | Resolve.KLit (d, x) -> Array.unsafe_set fregs d x
+          | Resolve.KMov (d, a) ->
+              Array.unsafe_set fregs d (Array.unsafe_get fregs a)
+          | Resolve.KAdd (d, a, b) ->
+              Array.unsafe_set fregs d
+                (Array.unsafe_get fregs a +. Array.unsafe_get fregs b)
+          | Resolve.KSub (d, a, b) ->
+              Array.unsafe_set fregs d
+                (Array.unsafe_get fregs a -. Array.unsafe_get fregs b)
+          | Resolve.KMul (d, a, b) ->
+              Array.unsafe_set fregs d
+                (Array.unsafe_get fregs a *. Array.unsafe_get fregs b)
+          | Resolve.KDiv (d, a, b) ->
+              Array.unsafe_set fregs d
+                (Array.unsafe_get fregs a /. Array.unsafe_get fregs b)
+          | Resolve.KNeg (d, a) ->
+              Array.unsafe_set fregs d (-.Array.unsafe_get fregs a)
+          | Resolve.KItoF d -> Array.unsafe_set fregs d (float_of_int !iv)
+          | Resolve.KMath1 (d, g, a) ->
+              Array.unsafe_set fregs d (g (Array.unsafe_get fregs a))
+          | Resolve.KMath2 (d, g, a, b) ->
+              Array.unsafe_set fregs d
+                (g (Array.unsafe_get fregs a) (Array.unsafe_get fregs b))
+          | Resolve.KLoad (d, si) ->
+              let off = Array.unsafe_get offs si in
+              (match Array.unsafe_get (Array.unsafe_get datas si) off with
+              | VFloat f -> Array.unsafe_set fregs d f
+              | v -> Array.unsafe_set fregs d (to_float v));
+              track_focus_access st ~write:false (Array.unsafe_get ids si)
+                off (Array.unsafe_get elems si)
+          | Resolve.KStore (si, r) ->
+              let off = Array.unsafe_get offs si in
+              Array.unsafe_set (Array.unsafe_get datas si) off
+                (VFloat (Array.unsafe_get fregs r));
+              track_focus_access st ~write:true (Array.unsafe_get ids si) off
+                (Array.unsafe_get elems si)
+          | Resolve.KStoreAdd (si, r) -> rmw ( +. ) si r
+          | Resolve.KStoreSub (si, r) -> rmw ( -. ) si r
+          | Resolve.KStoreMul (si, r) -> rmw ( *. ) si r
+          | Resolve.KStoreDiv (si, r) -> rmw ( /. ) si r
+        done;
+        for si = 0 to nsites - 1 do
+          Array.unsafe_set offs si
+            (Array.unsafe_get offs si + Array.unsafe_get deltas si)
+        done;
+        iv := !iv + s
+      done)
+    else (
+      (* fused micro-program: entry banks first, then the iterations *)
+      Array.iter
+        (fun (d, x) -> Array.unsafe_set fregs d x)
+        kp.B.kp_lits;
+      Array.iter
+        (fun (d, si) -> Array.unsafe_set fregs d (vk_ld datas offs si))
+        kp.B.kp_prefetch;
+      let nadv = ref 0 in
+      for si = 0 to nsites - 1 do
+        if deltas.(si) <> 0 then incr nadv
+      done;
+      let adv = Array.make !nadv 0 in
+      let j = ref 0 in
+      for si = 0 to nsites - 1 do
+        if deltas.(si) <> 0 then (
+          adv.(!j) <- si;
+          incr j)
+      done;
+      (* runtime shard check: every stored region must advance every
+         iteration and be touched only through sites with the same
+         offset sequence, so iterations own disjoint elements *)
+      let shard_ok = ref (kp.B.kp_shardable && n >= !vm_shard_min) in
+      let nj = if !shard_ok then vm_jobs () else 1 in
+      if nj <= 1 then shard_ok := false;
+      if !shard_ok then
+        for si = 0 to nsites - 1 do
+          if k.Resolve.k_site_stores.(si) > 0 then
+            if deltas.(si) = 0 then shard_ok := false
+            else
+              for sj = 0 to nsites - 1 do
+                if
+                  sj <> si
+                  && ids.(sj) = ids.(si)
+                  && not (offs.(sj) = offs.(si) && deltas.(sj) = deltas.(si))
+                then shard_ok := false
+              done
+        done;
+      if !shard_ok then (
+        let nshards = min nj n in
+        let base = n / nshards and rem = n mod nshards in
+        let chunks =
+          List.init nshards (fun ci ->
+              let lo = (ci * base) + min ci rem in
+              let sz = base + if ci < rem then 1 else 0 in
+              (lo, sz))
+        in
+        let results =
+          Flow_par.Pool.map ~jobs:nshards
+            (fun (lo, sz) ->
+              let fregs_c = Array.copy fregs in
+              let offs_c = Array.make nsites 0 in
+              for si = 0 to nsites - 1 do
+                offs_c.(si) <- offs.(si) + (lo * deltas.(si))
+              done;
+              vkern_iters kp.B.kp_ops fregs_c datas offs_c deltas adv
+                ~iv0:(i0 + (lo * s)) ~step:s ~count:sz;
+              fregs_c)
+            chunks
+        in
+        (* with no loop-carried register dependence, the registers
+           after the last iteration are exactly the last chunk's: every
+           freg is either an entry value (identical in all chunks) or
+           written by the final iteration *)
+        (match List.rev results with
+        | last :: _ -> Array.blit last 0 fregs 0 (Array.length fregs)
+        | [] -> ());
+        Flow_obs.Metrics.incr Flow_obs.Metrics.global "vm_sharded_kernels";
+        Flow_obs.Metrics.observe Flow_obs.Metrics.global "vm_shard_width"
+          (float_of_int nshards))
+      else
+        vkern_iters kp.B.kp_ops fregs datas offs deltas adv ~iv0:i0 ~step:s
+          ~count:n);
+    Array.iter
+      (fun (slot, reg) ->
+        Array.unsafe_set fr slot (VFloat (Array.unsafe_get fregs reg)))
+      k.Resolve.k_out;
+    Array.unsafe_set fr k.Resolve.k_idx_slot (VInt (i0 + (n * s)));
+    stat.min_trip <- min stat.min_trip n;
+    stat.max_trip <- max stat.max_trip n;
+    stat.cycles <- stat.cycles +. (cycles st -. t0))
+
+(* VM driver: a flat tail-recursive dispatch loop over the instruction
+   array.  Every arm replays the matching threaded-engine closure's
+   charges, counter bumps, fuel spends and error points — the test
+   suite asserts fingerprint identity against both engines. *)
+
+let vset_slot st regs (slot : Resolve.var_ref) v =
+  match slot with
+  | Resolve.Local i -> Array.unsafe_set regs i v
+  | Resolve.Global g -> Array.unsafe_set st.garray g v
+  | Resolve.Unbound n -> err "undefined variable '%s'" n
+
+let vget_slot st regs (slot : Resolve.var_ref) =
+  match slot with
+  | Resolve.Local i -> Array.unsafe_get regs i
+  | Resolve.Global g -> Array.unsafe_get st.garray g
+  | Resolve.Unbound n -> err "undefined variable '%s'" n
+
+let rec vrun st (bp : B.program) ~track (code : B.instr array)
+    (regs : Value.t array) (si : int array) (sf : float array) : Value.t =
+  let load_at = if track then load_r_tracked else load_r in
+  let store_at = if track then store_r_tracked else store_r in
+  let rec go pc =
+    match Array.unsafe_get code pc with
+    | B.IFuel ->
+        spend_fuel st;
+        go (pc + 1)
+    | B.ICharge c ->
+        charge st c;
+        go (pc + 1)
+    | B.IJmp t -> go t
+    | B.IJmpFalse (src, tgt) ->
+        if to_bool (Array.unsafe_get regs src) then go (pc + 1) else go tgt
+    | B.IBrCmp { op; kind; a; b; tgt } ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        let fl =
+          match kind with
+          | B.KDyn -> is_float va || is_float vb
+          | B.KFlt -> true
+          | B.KInt -> false
+        in
+        if do_cmp op fl va vb then go (pc + 1) else go tgt
+    | B.IMov (d, a) ->
+        Array.unsafe_set regs d (Array.unsafe_get regs a);
+        go (pc + 1)
+    | B.IGetG (d, g) ->
+        Array.unsafe_set regs d (Array.unsafe_get st.garray g);
+        go (pc + 1)
+    | B.ISetG (g, src) ->
+        Array.unsafe_set st.garray g (Array.unsafe_get regs src);
+        go (pc + 1)
+    | B.IErrVar n -> err "undefined variable '%s'" n
+    | B.IErrMsg m -> raise (Value.Runtime_error m)
+    | B.IFailHd -> raise (Failure "hd")
+    | B.INeg (d, a) ->
+        (match Array.unsafe_get regs a with
+        | VInt n -> Array.unsafe_set regs d (VInt (-n))
+        | VFloat f ->
+            st.prof.flops <- st.prof.flops + 1;
+            Array.unsafe_set regs d (VFloat (-.f))
+        | _ -> err "negation of a non-numeric value");
+        go (pc + 1)
+    | B.INot (d, a) ->
+        Array.unsafe_set regs d
+          (vbool (not (to_bool (Array.unsafe_get regs a))));
+        go (pc + 1)
+    | B.IArith { op; fresid; d; a; b } ->
+        Array.unsafe_set regs d
+          (do_arith st op fresid (Array.unsafe_get regs a)
+             (Array.unsafe_get regs b));
+        go (pc + 1)
+    | B.IArithF { op; fresid; d; a; b } ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        if fresid <> 0.0 then charge st fresid;
+        st.prof.flops <- st.prof.flops + 1;
+        Array.unsafe_set regs d
+          (match op with
+          | Minic.Ast.Add -> VFloat (to_float va +. to_float vb)
+          | Minic.Ast.Sub -> VFloat (to_float va -. to_float vb)
+          | Minic.Ast.Mul -> VFloat (to_float va *. to_float vb)
+          | _ -> assert false);
+        go (pc + 1)
+    | B.IArithI { op; d; a; b } ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        st.prof.int_ops <- st.prof.int_ops + 1;
+        Array.unsafe_set regs d
+          (match op with
+          | Minic.Ast.Add -> VInt (to_int va + to_int vb)
+          | Minic.Ast.Sub -> VInt (to_int va - to_int vb)
+          | Minic.Ast.Mul -> VInt (to_int va * to_int vb)
+          | _ -> assert false);
+        go (pc + 1)
+    | B.IDiv (d, a, b) ->
+        Array.unsafe_set regs d
+          (do_div st (Array.unsafe_get regs a) (Array.unsafe_get regs b));
+        go (pc + 1)
+    | B.IDivF (d, a, b) ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        charge st Profile.Cost.float_div;
+        st.prof.flops <- st.prof.flops + 1;
+        Array.unsafe_set regs d (VFloat (to_float va /. to_float vb));
+        go (pc + 1)
+    | B.IDivI (d, a, b) ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        charge st Profile.Cost.int_op;
+        st.prof.int_ops <- st.prof.int_ops + 1;
+        let dv = to_int vb in
+        if dv = 0 then err "integer division by zero";
+        Array.unsafe_set regs d (VInt (to_int va / dv));
+        go (pc + 1)
+    | B.IMod (d, a, b) ->
+        Array.unsafe_set regs d
+          (do_mod st (Array.unsafe_get regs a) (Array.unsafe_get regs b));
+        go (pc + 1)
+    | B.ICmp { op; kind; d; a; b } ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        let fl =
+          match kind with
+          | B.KDyn -> is_float va || is_float vb
+          | B.KFlt -> true
+          | B.KInt -> false
+        in
+        Array.unsafe_set regs d (vbool (do_cmp op fl va vb));
+        go (pc + 1)
+    | B.ICastI (d, a) ->
+        Array.unsafe_set regs d (VInt (to_int (Array.unsafe_get regs a)));
+        go (pc + 1)
+    | B.ICastF (d, a) ->
+        Array.unsafe_set regs d (VFloat (to_float (Array.unsafe_get regs a)));
+        go (pc + 1)
+    | B.ICastB (d, a) ->
+        Array.unsafe_set regs d (vbool (to_bool (Array.unsafe_get regs a)));
+        go (pc + 1)
+    | B.IIndex { d; a; i } ->
+        let p = to_ptr (Array.unsafe_get regs a) in
+        let ii = to_int (Array.unsafe_get regs i) in
+        Array.unsafe_set regs d
+          (load_at st (Memory.region st.mem p.mem_id) (p.off + ii));
+        go (pc + 1)
+    | B.IFolded { d; fval; f_flops; f_int_ops; f_dyn } ->
+        if f_dyn <> 0.0 then charge st f_dyn;
+        if f_flops <> 0 then st.prof.flops <- st.prof.flops + f_flops;
+        if f_int_ops <> 0 then st.prof.int_ops <- st.prof.int_ops + f_int_ops;
+        Array.unsafe_set regs d fval;
+        go (pc + 1)
+    | B.IHoisted { glob; hslot; h_flops; h_sfu; h_dyn; d; tgt } -> (
+        let bank = if glob then st.garray else regs in
+        match Array.unsafe_get bank hslot with
+        | VFloat _ as v ->
+            if h_dyn <> 0.0 then charge st h_dyn;
+            if h_flops <> 0 then st.prof.flops <- st.prof.flops + h_flops;
+            if h_sfu <> 0 then st.prof.sfu_ops <- st.prof.sfu_ops + h_sfu;
+            Array.unsafe_set regs d v;
+            go tgt
+        | _ -> go (pc + 1))
+    | B.IHoistSave { glob; hslot; d; src } ->
+        let v = Array.unsafe_get regs src in
+        (if glob then st.garray else regs).(hslot) <- v;
+        Array.unsafe_set regs d v;
+        go (pc + 1)
+    | B.IHoistReset { glob; slots } ->
+        let bank = if glob then st.garray else regs in
+        Array.iter (fun i -> Array.unsafe_set bank i VUnit) slots;
+        go (pc + 1)
+    | B.IAndTest { d; src; bcost; tgt } ->
+        if to_bool (Array.unsafe_get regs src) then (
+          charge st bcost;
+          go (pc + 1))
+        else (
+          Array.unsafe_set regs d vfalse;
+          go tgt)
+    | B.IOrTest { d; src; bcost; tgt } ->
+        if to_bool (Array.unsafe_get regs src) then (
+          Array.unsafe_set regs d vtrue;
+          go tgt)
+        else (
+          charge st bcost;
+          go (pc + 1))
+    | B.ICallUser { d; fidx; args } ->
+        Array.unsafe_set regs d (vcall st bp ~track fidx args regs);
+        go (pc + 1)
+    | B.IMath1 { d; g; mflops; a } ->
+        let v = Array.unsafe_get regs a in
+        st.prof.sfu_ops <- st.prof.sfu_ops + 1;
+        st.prof.flops <- st.prof.flops + mflops;
+        Array.unsafe_set regs d (VFloat (g (to_float v)));
+        go (pc + 1)
+    | B.IMath2 { d; g; mflops; a; b } ->
+        let va = Array.unsafe_get regs a and vb = Array.unsafe_get regs b in
+        st.prof.sfu_ops <- st.prof.sfu_ops + 1;
+        st.prof.flops <- st.prof.flops + mflops;
+        Array.unsafe_set regs d (VFloat (g (to_float va) (to_float vb)));
+        go (pc + 1)
+    | B.IMathGen { d; mimpl; mflops; args } ->
+        st.prof.sfu_ops <- st.prof.sfu_ops + 1;
+        st.prof.flops <- st.prof.flops + mflops;
+        (match (mimpl, Array.length args) with
+        | Resolve.M1 g, n when n >= 1 ->
+            Array.unsafe_set regs d
+              (VFloat (g (to_float (Array.unsafe_get regs args.(0)))))
+        | Resolve.M2 g, n when n >= 2 ->
+            Array.unsafe_set regs d
+              (VFloat
+                 (g
+                    (to_float (Array.unsafe_get regs args.(0)))
+                    (to_float (Array.unsafe_get regs args.(1)))))
+        | _ -> err "math builtin called with too few arguments");
+        go (pc + 1)
+    | B.IRand01 d ->
+        Array.unsafe_set regs d (VFloat (rand01 st));
+        go (pc + 1)
+    | B.IRandInt (d, a) ->
+        Array.unsafe_set regs d
+          (VInt (rand_int st (to_int (Array.unsafe_get regs a))));
+        go (pc + 1)
+    | B.IPrintInt src ->
+        Buffer.add_string st.out
+          (string_of_int (to_int (Array.unsafe_get regs src)) ^ "\n");
+        go (pc + 1)
+    | B.IPrintFloat src ->
+        Buffer.add_string st.out
+          (Printf.sprintf "%.6g\n" (to_float (Array.unsafe_get regs src)));
+        go (pc + 1)
+    | B.ITimerStart src ->
+        let v = Array.unsafe_get regs src in
+        sync_cycles st;
+        Profile.timer_start st.prof (to_int v);
+        go (pc + 1)
+    | B.ITimerStop src ->
+        let v = Array.unsafe_get regs src in
+        sync_cycles st;
+        Profile.timer_stop st.prof (to_int v);
+        go (pc + 1)
+    | B.IAlloc { d; typ; name; src } ->
+        let n = to_int (Array.unsafe_get regs src) in
+        Array.unsafe_set regs d (Memory.alloc st.mem ~name ~elem_typ:typ n);
+        go (pc + 1)
+    | B.IApplyAssign { d; aop; old; rhs } ->
+        Array.unsafe_set regs d
+          (apply_assign st aop (Array.unsafe_get regs old)
+             (Array.unsafe_get regs rhs));
+        go (pc + 1)
+    | B.IStore { arr; idx; src } ->
+        let rhs = Array.unsafe_get regs src in
+        let p = to_ptr (Array.unsafe_get regs arr) in
+        let i = to_int (Array.unsafe_get regs idx) in
+        let r = Memory.region st.mem p.mem_id in
+        store_at st r (p.off + i) (coerce r.elem_typ rhs);
+        go (pc + 1)
+    | B.IStoreOp { aop; arr; idx; src } ->
+        let rhs = Array.unsafe_get regs src in
+        let p = to_ptr (Array.unsafe_get regs arr) in
+        let i = to_int (Array.unsafe_get regs idx) in
+        let r = Memory.region st.mem p.mem_id in
+        let off = p.off + i in
+        let v = apply_assign st aop (load_at st r off) rhs in
+        store_at st r off v;
+        go (pc + 1)
+    | B.IDropChk { co; src } ->
+        let v = Array.unsafe_get regs src in
+        (match co with
+        | Minic.Ast.Tint -> ignore (to_int v)
+        | Minic.Ast.Tfloat | Minic.Ast.Tdouble -> ignore (to_float v)
+        | Minic.Ast.Tbool -> ignore (to_bool v)
+        | _ -> ());
+        go (pc + 1)
+    | B.IRet src -> Array.unsafe_get regs src
+    | B.IRetRaise src -> raise (Return_exc (Array.unsafe_get regs src))
+    | B.ILoopEnterW { lidx; sid; t0; trips } ->
+        let stat = cached_loop_stat st lidx sid in
+        stat.invocations <- stat.invocations + 1;
+        Array.unsafe_set sf t0 (cycles st);
+        Array.unsafe_set si trips 0;
+        charge st Profile.Cost.branch;
+        go (pc + 1)
+    | B.ILoopEnterF { lidx; sid; t0; trips; icost } ->
+        let stat = cached_loop_stat st lidx sid in
+        stat.invocations <- stat.invocations + 1;
+        Array.unsafe_set sf t0 (cycles st);
+        charge st icost;
+        Array.unsafe_set si trips 0;
+        go (pc + 1)
+    | B.IWhileIter { src; lidx; sid; trips; tgt } ->
+        if to_bool (Array.unsafe_get regs src) then (
+          Array.unsafe_set si trips (Array.unsafe_get si trips + 1);
+          let stat = cached_loop_stat st lidx sid in
+          stat.iterations <- stat.iterations + 1;
+          spend_fuel st;
+          charge st while_iter_cost;
+          go (pc + 1))
+        else go tgt
+    | B.IForInit { slot; src } ->
+        vset_slot st regs slot (VInt (to_int (Array.unsafe_get regs src)));
+        go (pc + 1)
+    | B.IForTest { slot; bound; inclusive; lidx; sid; trips; tgt } ->
+        let b = to_int (Array.unsafe_get regs bound) in
+        let i = to_int (vget_slot st regs slot) in
+        if if inclusive then i <= b else i < b then (
+          Array.unsafe_set si trips (Array.unsafe_get si trips + 1);
+          let stat = cached_loop_stat st lidx sid in
+          stat.iterations <- stat.iterations + 1;
+          spend_fuel st;
+          charge st for_iter_cost;
+          go (pc + 1))
+        else go tgt
+    | B.IForStep { slot; src } ->
+        let stepv = to_int (Array.unsafe_get regs src) in
+        vset_slot st regs slot
+          (VInt (to_int (vget_slot st regs slot) + stepv));
+        go (pc + 1)
+    | B.ILoopExit { lidx; sid; t0; trips } ->
+        let stat = cached_loop_stat st lidx sid in
+        let tr = Array.unsafe_get si trips in
+        stat.min_trip <- min stat.min_trip tr;
+        stat.max_trip <- max stat.max_trip tr;
+        stat.cycles <- stat.cycles +. (cycles st -. Array.unsafe_get sf t0);
+        go (pc + 1)
+    | B.IKernel { glob; lidx; kp; tgt } -> (
+        let fr = if glob then st.garray else regs in
+        match vkernel st ~track fr lidx kp with
+        | () -> go tgt
+        | exception Kernel_unfit -> go (pc + 1))
+  in
+  go 0
+
+and vcall st (bp : B.program) ~track fidx (argr : int array)
+    (caller : Value.t array) : Value.t =
+  let f = st.cprog.cfuncs.(fidx) in
+  let fn = bp.B.bc_funcs.(fidx) in
+  let regs = Array.make fn.B.bc_nregs VUnit in
+  Array.blit fn.B.bc_cvals 0 regs fn.B.bc_cbase (Array.length fn.B.bc_cvals);
+  Array.iteri
+    (fun i r ->
+      Array.unsafe_set regs
+        (Array.unsafe_get f.Resolve.cf_param_slots i)
+        (Array.unsafe_get caller r))
+    argr;
+  let si = Array.make (max 1 fn.B.bc_nsi) 0 in
+  let sf = Array.make (max 1 fn.B.bc_nsf) 0.0 in
+  if not track then vrun st bp ~track fn.B.bc_code regs si sf
+  else begin
+    let is_focus = fidx = st.focus_idx && st.focus_depth = 0 in
+    if is_focus then
+      enter_focus st f
+        (Array.to_list (Array.map (fun r -> caller.(r)) argr));
+    let snapshot = counters_snapshot st in
+    let result = vrun st bp ~track fn.B.bc_code regs si sf in
+    if is_focus then exit_focus st snapshot;
+    result
+  end
+
+(* Entry path for [main] — mirrors [call_user]: arity check, focus
+   bracketing even when the run has no focus (the test is cheap and
+   happens once). *)
+let vcall_main st (bp : B.program) ~track idx : Value.t =
+  let f = st.cprog.cfuncs.(idx) in
+  if List.length f.Resolve.cf_params <> 0 then
+    err "call to '%s' with wrong arity" f.Resolve.cf_name;
+  let fn = bp.B.bc_funcs.(idx) in
+  let regs = Array.make fn.B.bc_nregs VUnit in
+  Array.blit fn.B.bc_cvals 0 regs fn.B.bc_cbase (Array.length fn.B.bc_cvals);
+  let si = Array.make (max 1 fn.B.bc_nsi) 0 in
+  let sf = Array.make (max 1 fn.B.bc_nsf) 0.0 in
+  let is_focus = idx = st.focus_idx && st.focus_depth = 0 in
+  if is_focus then enter_focus st f [];
+  let snapshot = counters_snapshot st in
+  let result = vrun st bp ~track fn.B.bc_code regs si sf in
+  if is_focus then exit_focus st snapshot;
+  result
+
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1698,25 +2586,37 @@ type run = {
   return_value : Value.t;
 }
 
-(** Compile an already-resolved slot IR to threaded code, without
-    running the optimizer — the entry point for per-pass identity tests
-    that supply their own (partially) optimized IR. *)
-let compile_resolved (cp : Resolve.t) : compiled =
+(** Compile an already-resolved slot IR, without running the
+    optimizer — the entry point for per-pass identity tests that supply
+    their own (partially) optimized IR.
+
+    @param vm_hot heat oracle for the bytecode lowering's
+      superinstruction selector: [vm_hot sid] says whether the fused
+      loop with that statement id is worth rewriting (default: all
+      hot).  See {!Bytecode.hot_of_profile}. *)
+let compile_resolved ?vm_hot (cp : Resolve.t) : compiled =
   {
     cp;
     plain = lazy (compile_variant cp ~track:false);
     tracking = lazy (compile_variant cp ~track:true);
+    vm = lazy (Bytecode.lower ?hot:vm_hot cp);
   }
 
-(** Compile a program to threaded code once; the result can be executed
-    many times with {!run_compiled}.  The slot IR is optimized by
-    {!Opt.optimize} first unless [PSAFLOW_NO_OPT] is set.  The two
-    closure variants are compiled lazily on first use. *)
-let compile p : compiled =
+(** Compile a program once; the result can be executed many times with
+    {!run_compiled}.  The slot IR is optimized by {!Opt.optimize} first
+    unless [PSAFLOW_NO_OPT] is set.  All engine variants (threaded
+    closures and register bytecode) are compiled lazily on first use.
+
+    @param vm_profile a profile from a previous run of the same
+      program; when given, the bytecode superinstruction selector only
+      rewrites kernels whose loops were hot in it *)
+let compile ?vm_profile p : compiled =
   Flow_obs.Trace.with_span ~cat:"interp" "interp.compile" (fun () ->
       let cp = Resolve.compile p in
       let cp = if Opt.is_enabled () then Opt.optimize cp else cp in
-      compile_resolved cp)
+      compile_resolved
+        ?vm_hot:(Option.map Bytecode.hot_of_profile vm_profile)
+        cp)
 
 let make_state ?focus ~fuel (cp : Resolve.t) =
   let focus_idx =
@@ -1744,8 +2644,10 @@ let make_state ?focus ~fuel (cp : Resolve.t) =
     cyc = [| 0.0 |];
   }
 
-(** Run an already-compiled program from [main] (threaded code). *)
-let run_compiled ?focus ?(fuel = 200_000_000) (c : compiled) : run =
+(** Run an already-compiled program from [main] through the threaded
+    closures — the PR-5 engine, kept verbatim and reachable directly
+    (or as the [PSAFLOW_NO_VM] fallback of {!run_compiled}). *)
+let run_threaded ?focus ?(fuel = 200_000_000) (c : compiled) : run =
   Flow_obs.Trace.with_span ~cat:"interp" "interp.eval" @@ fun () ->
   let st = make_state ?focus ~fuel c.cp in
   let variant =
@@ -1767,6 +2669,45 @@ let run_compiled ?focus ?(fuel = 200_000_000) (c : compiled) : run =
   Flow_obs.Trace.add_args
     [ ("virtual_cycles", Flow_obs.Attr.Float st.prof.cycles) ];
   { profile = st.prof; output = Buffer.contents st.out; return_value }
+
+(** Run an already-compiled program from [main] through the register
+    bytecode VM (same observable semantics as {!run_threaded} and
+    {!run_ir}, bit for bit — output, return value, full profile). *)
+let run_vm ?focus ?(fuel = 200_000_000) (c : compiled) : run =
+  Flow_obs.Trace.with_span ~cat:"interp" "interp.eval" @@ fun () ->
+  let st = make_state ?focus ~fuel c.cp in
+  let bp = Lazy.force c.vm in
+  st.loop_cache <- Array.make (max 1 bp.Bytecode.bc_nloops) None;
+  let track = st.focus_idx >= 0 in
+  (* globals evaluate in the global frame; a stray [return] there
+     escapes as [Return_exc], exactly like both reference engines *)
+  let g = bp.Bytecode.bc_globals in
+  let gregs = Array.make g.Bytecode.bc_nregs VUnit in
+  Array.blit g.Bytecode.bc_cvals 0 gregs g.Bytecode.bc_cbase
+    (Array.length g.Bytecode.bc_cvals);
+  let gsi = Array.make (max 1 g.Bytecode.bc_nsi) 0 in
+  let gsf = Array.make (max 1 g.Bytecode.bc_nsf) 0.0 in
+  ignore (vrun st bp ~track g.Bytecode.bc_code gregs gsi gsf);
+  if c.cp.main_idx < 0 then err "program has no 'main' function";
+  charge st Profile.Cost.call;
+  let return_value = vcall_main st bp ~track c.cp.main_idx in
+  sync_cycles st;
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "interp_runs";
+  Flow_obs.Metrics.incr Flow_obs.Metrics.global "interp_vm_runs";
+  Flow_obs.Metrics.observe Flow_obs.Metrics.global "interp_virtual_cycles"
+    st.prof.cycles;
+  if st.bulk_cycles > 0.0 then
+    Flow_obs.Metrics.observe Flow_obs.Metrics.global "interp_bulk_cycles"
+      st.bulk_cycles;
+  Flow_obs.Trace.add_args
+    [ ("virtual_cycles", Flow_obs.Attr.Float st.prof.cycles) ];
+  { profile = st.prof; output = Buffer.contents st.out; return_value }
+
+(** Run an already-compiled program from [main]: the bytecode VM unless
+    [PSAFLOW_NO_VM] disables it, then the threaded closures. *)
+let run_compiled ?focus ?fuel (c : compiled) : run =
+  if vm_is_enabled () then run_vm ?focus ?fuel c
+  else run_threaded ?focus ?fuel c
 
 (** Run the slot IR through the reference tree walker.  Counted as
     [interp_ir_runs] (not [interp_runs]): this path exists for

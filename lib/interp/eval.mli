@@ -5,15 +5,21 @@
     design-flow tasks consume.  Deterministic: repeated runs (including
     of instrumented variants) see identical pseudo-random inputs.
 
-    Programs are slot-compiled (see {!Resolve}) and then compiled once
-    more to {e threaded code}: pre-bound closures, one per statement and
-    expression node, so the hot loop performs no per-statement
-    constructor dispatch.  Two variants exist per program — a non-focus
-    fast path with no kernel-tracking test on memory accesses, and a
-    focus-tracking variant — compiled lazily on first use.  The original
-    tree walker over the slot IR is kept as {!run_ir}, the semantic
-    reference the test suite checks the threaded code against,
-    bit-identically. *)
+    Programs are slot-compiled (see {!Resolve}) and then lowered once
+    more, to two interchangeable engines:
+
+    - {e threaded code} — pre-bound closures, one per statement and
+      expression node (the PR-5 engine, kept verbatim);
+    - a {e flat register-bytecode VM} (see {!Bytecode} and DESIGN.md
+      §14) — dense instruction arrays over an integer-register frame,
+      with profile-guided superinstructions inside fused loop kernels
+      and domain-sharded execution of data-parallel loops.
+
+    {!run_compiled} picks the VM unless the [PSAFLOW_NO_VM] environment
+    knob disables it.  All engines (including the original tree walker,
+    kept as {!run_ir}) are bit-identical in every observable: printed
+    output, return value, the full virtual-cycle profile, loop stats,
+    error messages and error points.  The test suite asserts this. *)
 
 (** Result of running a program. *)
 type run = {
@@ -22,8 +28,8 @@ type run = {
   return_value : Value.t;
 }
 
-(** A threaded-code program: the slot IR plus its lazily compiled
-    closure variants. *)
+(** A compiled program: the slot IR plus its lazily compiled engine
+    variants (threaded closures and register bytecode). *)
 type compiled
 
 (** Run [program] from [main].
@@ -36,21 +42,39 @@ type compiled
       integer division by zero, fuel exhaustion, missing [main], ...) *)
 val run : ?focus:string -> ?fuel:int -> Minic.Ast.program -> run
 
-(** Compile a program to threaded code once; the result can be executed
-    many times with {!run_compiled} without re-resolving or
-    re-compiling.  The slot IR is first optimized by {!Opt.optimize}
-    unless the [PSAFLOW_NO_OPT] environment knob disables it. *)
-val compile : Minic.Ast.program -> compiled
+(** Compile a program once; the result can be executed many times with
+    {!run_compiled} without re-resolving or re-compiling.  The slot IR
+    is first optimized by {!Opt.optimize} unless the [PSAFLOW_NO_OPT]
+    environment knob disables it.
 
-(** Compile an already-resolved slot IR to threaded code without
-    invoking the optimizer stage.  The entry point for per-pass
-    bit-identity tests, which optimize with an explicit {!Opt.config}
-    and compare against {!run_ir} on the raw IR. *)
-val compile_resolved : Resolve.t -> compiled
+    @param vm_profile a {!Profile.t} from a previous run of the same
+      program; when given, the bytecode superinstruction selector only
+      rewrites loop kernels that were hot in it (see
+      {!Bytecode.hot_of_profile}) *)
+val compile : ?vm_profile:Profile.t -> Minic.Ast.program -> compiled
+
+(** Compile an already-resolved slot IR without invoking the optimizer
+    stage.  The entry point for per-pass bit-identity tests, which
+    optimize with an explicit {!Opt.config} and compare against
+    {!run_ir} on the raw IR.
+
+    @param vm_hot heat oracle for the bytecode superinstruction
+      selector, keyed by fused-loop statement id (default: everything
+      hot) *)
+val compile_resolved : ?vm_hot:(int -> bool) -> Resolve.t -> compiled
 
 (** Run an already-compiled program from [main].  Equivalent to {!run}
-    on the source program. *)
+    on the source program.  Dispatches to {!run_vm} unless
+    [PSAFLOW_NO_VM] (or {!set_vm_enabled}[ false]) selects
+    {!run_threaded}. *)
 val run_compiled : ?focus:string -> ?fuel:int -> compiled -> run
+
+(** Run an already-compiled program through the register-bytecode VM. *)
+val run_vm : ?focus:string -> ?fuel:int -> compiled -> run
+
+(** Run an already-compiled program through the threaded-code closures
+    (the PR-5 engine, kept verbatim). *)
+val run_threaded : ?focus:string -> ?fuel:int -> compiled -> run
 
 (** Run the slot IR through the reference tree walker (the
     pre-threaded-code interpreter).  Profiles, outputs and error points
@@ -58,3 +82,22 @@ val run_compiled : ?focus:string -> ?fuel:int -> compiled -> run
     [interp_ir_runs] metric instead of [interp_runs].  Exists for
     bit-identity testing and before/after benchmarking. *)
 val run_ir : ?focus:string -> ?fuel:int -> Resolve.t -> run
+
+(** {1 VM execution knobs} *)
+
+(** Whether {!run_compiled} currently dispatches to the VM.  Seeded
+    from the [PSAFLOW_NO_VM] environment knob at startup. *)
+val vm_is_enabled : unit -> bool
+
+(** Override the VM dispatch at run time (tests, benchmarks). *)
+val set_vm_enabled : bool -> unit
+
+(** Worker-domain count for sharded kernel execution.  [None] (the
+    default) defers to the [PSAFLOW_VM_DOMAINS] environment knob, and
+    past that to [min 8 (Domain.recommended_domain_count ())]. *)
+val vm_jobs_override : int option ref
+
+(** Minimum trip count before a shardable kernel is actually split
+    across domains; below it the per-domain setup dwarfs the work.
+    Tests lower this to force sharding on small inputs. *)
+val vm_shard_min : int ref

@@ -1,15 +1,20 @@
 #!/bin/sh
 # Perf-regression gate: run the quick perf bench (same code paths as the
-# full run, reduced repetitions) and compare the threaded-interpreter
-# throughput against the committed BENCH_psaflow.json baseline.
+# full run, reduced repetitions) and compare interpreter throughput
+# against the committed BENCH_psaflow.json baseline.
 #
 # Fails when:
 #   - any outputs_identical check in the fresh BENCH_psaflow.json is
-#     false (an engine or optimizer pass diverged from the reference
-#     walker), or
-#   - interp.threaded.mcycles_per_s regressed more than 30% against the
-#     committed baseline (skipped with a notice when HEAD has no
-#     baseline, e.g. on the first commit of the format).
+#     false (an engine, optimizer pass or domain-sharded run diverged
+#     from the reference walker), or
+#   - a gated throughput field regressed more than 30% against the
+#     committed baseline.
+#
+# Gated fields: interp.threaded.mcycles_per_s and
+# interp.bytecode.mcycles_per_s.  A field absent from the committed
+# baseline (older BENCH format) is skipped with a notice rather than
+# failed, so the gate stays usable across format growth; a field absent
+# from the fresh file is a hard failure.
 #
 # Run from anywhere; operates on the repo this script lives in.
 set -eu
@@ -22,10 +27,10 @@ BASELINE=$(git show HEAD:BENCH_psaflow.json 2>/dev/null || true)
 
 dune exec bench/main.exe -- perf --quick
 
-# interp.threaded.mcycles_per_s: the first "mcycles_per_s" after the
-# "threaded" key (the pretty-printed field order is stable).
-threaded_mcycles() {
-  awk '/"threaded"/ { t = 1 }
+# interp.<engine>.mcycles_per_s: the first "mcycles_per_s" after the
+# engine key (the pretty-printed field order is stable).
+engine_mcycles() {
+  awk -v key="\"$1\"" 'index($0, key) { t = 1 }
        t && /"mcycles_per_s"/ {
          match($0, /[0-9][0-9.eE+-]*/)
          print substr($0, RSTART, RLENGTH)
@@ -39,20 +44,30 @@ fi
 grep -q '"outputs_identical": true' BENCH_psaflow.json \
   || { echo "FAIL: perf bench reports no output-identity checks"; exit 1; }
 
-NEW=$(threaded_mcycles <BENCH_psaflow.json)
-[ -n "$NEW" ] \
-  || { echo "FAIL: BENCH_psaflow.json has no interp.threaded.mcycles_per_s"; exit 1; }
-
-BASE=$(printf '%s\n' "$BASELINE" | threaded_mcycles)
-if [ -z "$BASE" ]; then
-  echo "perf gate: no committed baseline (new BENCH format?); skipping \
+FAILED=0
+for engine in threaded bytecode; do
+  NEW=$(engine_mcycles "$engine" <BENCH_psaflow.json)
+  if [ -z "$NEW" ]; then
+    echo "FAIL: BENCH_psaflow.json has no interp.$engine.mcycles_per_s"
+    FAILED=1
+    continue
+  fi
+  BASE=$(printf '%s\n' "$BASELINE" | engine_mcycles "$engine")
+  if [ -z "$BASE" ]; then
+    echo "perf gate: interp.$engine not in committed baseline; skipping \
 regression check (measured $NEW Mcycles/s)"
-  exit 0
-fi
-
-# regression > 30%  <=>  NEW < 0.7 * BASE
-if awk -v new="$NEW" -v base="$BASE" 'BEGIN { exit !(new < 0.7 * base) }'; then
-  echo "FAIL: interp.threaded.mcycles_per_s regressed >30%: $NEW vs baseline $BASE"
-  exit 1
-fi
-echo "perf gate: $NEW Mcycles/s vs baseline $BASE (>= 70% required), outputs identical"
+    continue
+  fi
+  # regression > 30%  <=>  NEW < 0.7 * BASE
+  if awk -v new="$NEW" -v base="$BASE" 'BEGIN { exit !(new < 0.7 * base) }'
+  then
+    echo "FAIL: interp.$engine.mcycles_per_s regressed >30%: $NEW vs \
+baseline $BASE"
+    FAILED=1
+  else
+    echo "perf gate: interp.$engine $NEW Mcycles/s vs baseline $BASE \
+(>= 70% required)"
+  fi
+done
+[ "$FAILED" -eq 0 ] || exit 1
+echo "perf gate: outputs identical, no >30% regression"

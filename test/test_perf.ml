@@ -656,6 +656,192 @@ let opt_tests =
       QCheck_alcotest.to_alcotest opt_equivalence_prop;
     ]
 
+(* ================================================================== *)
+(* Register-bytecode VM (Eval.run_vm / Bytecode)                       *)
+(* ================================================================== *)
+
+(* The VM obligation over generated programs: both lowered engines —
+   the bytecode VM and the threaded closures — must match the reference
+   walker on every observable, bare and kernel-focused. *)
+let vm_equivalence_prop =
+  QCheck.Test.make ~count:30
+    ~name:"bytecode VM = walker on generated programs" program_arb
+    (fun src ->
+      let p = Minic.Parser.parse_program src in
+      let ir = I.Resolve.compile p in
+      let walker = run_fingerprint (I.Eval.run_ir ir) in
+      let fwalker = run_fingerprint (I.Eval.run_ir ~focus:"work" ir) in
+      let c = I.Eval.compile_resolved ir in
+      if run_fingerprint (I.Eval.run_vm c) <> walker then
+        QCheck.Test.fail_report "vm: bare run diverges";
+      if run_fingerprint (I.Eval.run_vm ~focus:"work" c) <> fwalker then
+        QCheck.Test.fail_report "vm: focused run diverges";
+      if run_fingerprint (I.Eval.run_threaded c) <> walker then
+        QCheck.Test.fail_report "threaded: bare run diverges";
+      if run_fingerprint (I.Eval.run_threaded ~focus:"work" c) <> fwalker
+      then QCheck.Test.fail_report "threaded: focused run diverges";
+      true)
+
+(* Per-benchmark bit-identity of the VM against the walker, across the
+   superinstruction selector (on/off) and worker-domain counts (1/2/4,
+   with [vm_shard_min] lowered so benchmark-sized loops actually
+   shard). *)
+let check_vm_identity (b : Benchmarks.Bench_app.t) () =
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let ir_opt = I.Opt.optimize (I.Resolve.compile p) in
+  let walker = run_fingerprint (I.Eval.run_ir (I.Resolve.compile p)) in
+  let saved_jobs = !I.Eval.vm_jobs_override in
+  let saved_min = !I.Eval.vm_shard_min in
+  Fun.protect ~finally:(fun () ->
+      I.Eval.vm_jobs_override := saved_jobs;
+      I.Eval.vm_shard_min := saved_min)
+  @@ fun () ->
+  I.Eval.vm_shard_min := 1;
+  List.iter
+    (fun (sel, hot) ->
+      let c = I.Eval.compile_resolved ~vm_hot:hot ir_opt in
+      List.iter
+        (fun domains ->
+          I.Eval.vm_jobs_override := Some domains;
+          let r = I.Eval.run_vm c in
+          Alcotest.(check bool)
+            (Printf.sprintf "superinstructions %s, %d domains: identical" sel
+               domains)
+            true
+            (run_fingerprint r = walker))
+        [ 1; 2; 4 ])
+    [ ("on", fun _ -> true); ("off", fun _ -> false) ]
+
+(* Lowered kernels of a fixed data-parallel source, for selector unit
+   tests. *)
+let vm_lowered_kernels ~hot src =
+  let p = Minic.Parser.parse_program src in
+  let ir_opt = I.Opt.optimize (I.Resolve.compile p) in
+  let bp = I.Bytecode.lower ~hot ir_opt in
+  let kps = ref [] in
+  Array.iter
+    (fun (f : I.Bytecode.fn) ->
+      Array.iter
+        (function
+          | I.Bytecode.IKernel { kp; _ } -> kps := kp :: !kps
+          | _ -> ())
+        f.I.Bytecode.bc_code)
+    (Array.append bp.I.Bytecode.bc_funcs [| bp.I.Bytecode.bc_globals |]);
+  List.rev !kps
+
+let vm_triad_src =
+  {|
+int main() {
+  int n = 64;
+  double x[n];
+  double y[n];
+  for (int i = 0; i < n; i++) {
+    x[i] = i * 0.5;
+    y[i] = i * 0.25;
+  }
+  double a = 1.5;
+  for (int i = 0; i < n; i++) {
+    y[i] = y[i] + a * x[i];
+  }
+  print_float(y[10]);
+  return 0;
+}
+|}
+
+(* The selector on a fixed program: hot kernels shrink (superinstruction
+   fusion fired), the fused bodies cover fewer micro-ops than the
+   original kinstr stream, and the data-parallel loop is recognized as
+   shardable; with everything cold, bodies lower 1:1 and nothing is
+   marked fused. *)
+let vm_selector_fuses () =
+  let kps = vm_lowered_kernels ~hot:(fun _ -> true) vm_triad_src in
+  Alcotest.(check bool) "kernels lowered" true (List.length kps >= 2);
+  List.iter
+    (fun (kp : I.Bytecode.kprog) ->
+      let before = Array.length kp.I.Bytecode.kp_kern.I.Resolve.k_body in
+      let after = Array.length kp.I.Bytecode.kp_ops in
+      Alcotest.(check bool) "hot kernel marked fused" true
+        kp.I.Bytecode.kp_fused;
+      Alcotest.(check bool) "fusion shrank the body" true (after < before);
+      Alcotest.(check bool) "shardable: no loop-carried register dep" true
+        kp.I.Bytecode.kp_shardable)
+    kps;
+  let cold = vm_lowered_kernels ~hot:(fun _ -> false) vm_triad_src in
+  List.iter
+    (fun (kp : I.Bytecode.kprog) ->
+      let before = Array.length kp.I.Bytecode.kp_kern.I.Resolve.k_body in
+      Alcotest.(check bool) "cold kernel not fused" false
+        kp.I.Bytecode.kp_fused;
+      Alcotest.(check int) "cold kernel lowers 1:1" before
+        (Array.length kp.I.Bytecode.kp_ops);
+      Alcotest.(check int) "cold kernel hoists no literals" 0
+        (Array.length kp.I.Bytecode.kp_lits);
+      Alcotest.(check int) "cold kernel prefetches nothing" 0
+        (Array.length kp.I.Bytecode.kp_prefetch))
+    cold
+
+(* [hot_of_profile] thresholding on a measured profile: the dominant
+   loop clears the default 2% share, an impossible share admits nothing,
+   and unknown statement ids are never hot. *)
+let vm_hot_of_profile () =
+  let p = Minic.Parser.parse_program vm_triad_src in
+  let r = I.Eval.run p in
+  let dominant, _ =
+    Hashtbl.fold
+      (fun sid (ls : I.Profile.loop_stat) ((_, best) as acc) ->
+        if ls.I.Profile.cycles > best then (sid, ls.I.Profile.cycles) else acc)
+      r.profile.I.Profile.loops (-1, neg_infinity)
+  in
+  Alcotest.(check bool) "profile has loops" true (dominant >= 0);
+  let hot = I.Bytecode.hot_of_profile r.profile in
+  Alcotest.(check bool) "dominant loop is hot" true (hot dominant);
+  let none = I.Bytecode.hot_of_profile ~min_share:1.1 r.profile in
+  Alcotest.(check bool) "impossible share admits nothing" false
+    (none dominant);
+  Alcotest.(check bool) "unknown sid is cold" false (hot (-42));
+  let empty = I.Bytecode.hot_of_profile (I.Profile.create ()) in
+  Alcotest.(check bool) "no cycle data: everything hot" true (empty dominant)
+
+(* [PSAFLOW_NO_VM] mirrors [PSAFLOW_NO_OPT]: [Eval.set_vm_enabled false]
+   routes [run_compiled] back to the threaded closures — observable
+   through the [interp_vm_runs] counter — without changing any run
+   observable.  (The shared 1/true/yes flag grammar is covered by
+   [opt_kill_switch].) *)
+let vm_kill_switch () =
+  let was = I.Eval.vm_is_enabled () in
+  Fun.protect ~finally:(fun () -> I.Eval.set_vm_enabled was) @@ fun () ->
+  let b = List.nth Benchmarks.Registry.all 1 (* nbody *) in
+  let p = Benchmarks.Bench_app.program b ~n:b.profile_n in
+  let walker = run_fingerprint (I.Eval.run_ir (I.Resolve.compile p)) in
+  let c = I.Eval.compile p in
+  let vm_runs () =
+    Flow_obs.Metrics.counter_value Flow_obs.Metrics.global "interp_vm_runs"
+  in
+  I.Eval.set_vm_enabled false;
+  let c0 = vm_runs () in
+  let off = I.Eval.run_compiled c in
+  Alcotest.(check int) "VM skipped when disabled" c0 (vm_runs ());
+  I.Eval.set_vm_enabled true;
+  let on = I.Eval.run_compiled c in
+  Alcotest.(check bool) "VM ran when enabled" true (vm_runs () > c0);
+  Alcotest.(check bool)
+    "disabled run = walker" true
+    (run_fingerprint off = walker);
+  Alcotest.(check bool) "enabled run = walker" true (run_fingerprint on = walker)
+
+let vm_tests =
+  List.map
+    (fun (b : Benchmarks.Bench_app.t) ->
+      Alcotest.test_case (b.id ^ " superinstructions x domains") `Slow
+        (check_vm_identity b))
+    Benchmarks.Registry.all
+  @ [
+      Alcotest.test_case "selector fuses hot kernels" `Quick vm_selector_fuses;
+      Alcotest.test_case "hot_of_profile thresholds" `Quick vm_hot_of_profile;
+      Alcotest.test_case "kill switch" `Quick vm_kill_switch;
+      QCheck_alcotest.to_alcotest vm_equivalence_prop;
+    ]
+
 let () =
   Alcotest.run "perf"
     [
@@ -675,6 +861,7 @@ let () =
       ("fused", fused_tests);
       ("optimizer", opt_tests);
       ("engine", [ QCheck_alcotest.to_alcotest engine_equivalence_prop ]);
+      ("vm", vm_tests);
       ( "dse-parallel",
         [
           QCheck_alcotest.to_alcotest unroll_prop;
