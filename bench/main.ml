@@ -511,6 +511,10 @@ let () =
       Perf.run
         ~quick:(Array.exists (fun a -> a = "--quick") Sys.argv)
         ()
+  | "svc-load" ->
+      Svc_load.run
+        ~quick:(Array.exists (fun a -> a = "--quick") Sys.argv)
+        ()
   | _ ->
       print_fig5 ();
       print_table1 ();

@@ -356,10 +356,9 @@ int main() {
     prerr_endline "ERROR: parallel/cached outputs diverge from sequential!";
 
   (* -- report ------------------------------------------------------ *)
-  let json =
+  let sections =
     let open Flow_service.Json in
-    Obj
-      [
+    [
         ("bench", String "psaflow-perf");
         ("quick", Bool quick);
         ("cores", Int cores);
@@ -476,8 +475,8 @@ int main() {
         ("engine", Flow_service.Metrics.to_json Flow_obs.Metrics.global);
       ]
   in
-  let oc = open_out json_out in
-  output_string oc (Flow_service.Json.to_string_pretty json);
-  close_out oc;
+  (* merge, don't overwrite: [bench svc-load] owns the "service" section
+     of the same file *)
+  Report_file.update ~path:json_out sections;
   Printf.printf "wrote %s\n%!" json_out;
   if not (identical && threaded_identical && parallel_identical) then exit 1

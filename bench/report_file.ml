@@ -1,0 +1,34 @@
+(** Shared writer for [BENCH_psaflow.json].
+
+    Two harnesses own disjoint top-level sections of the same file:
+    [bench perf] writes the engine sections (interp/parallel/cache/flow)
+    and [bench svc-load] writes the [service] section.  Each therefore
+    merges: existing sections it does not own are preserved verbatim,
+    its own are replaced.  A missing or unparseable file degrades to a
+    plain write of the given sections. *)
+
+module Json = Flow_service.Json
+
+let read_sections path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Json.parse_result s with Ok (Json.Obj fields) -> fields | _ -> []
+
+(** Replace [sections] in the JSON object at [path], keeping every other
+    top-level field (in its original position) untouched. *)
+let update ~path (sections : (string * Json.t) list) =
+  let existing = read_sections path in
+  let merged =
+    List.map
+      (fun (k, v) ->
+        match List.assoc_opt k sections with Some nv -> (k, nv) | None -> (k, v))
+      existing
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k existing)) sections
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (Json.Obj merged));
+  close_out oc

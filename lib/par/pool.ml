@@ -38,6 +38,36 @@ let jobs () =
 
 exception Item_error of exn
 
+(* ------------------------------------------------------------------ *)
+(* Persistent worker sets                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** A fixed set of long-lived worker domains, used by subsystems that
+    keep workers blocked on a condition variable between jobs (the
+    service scheduler) rather than fanning one batch out through
+    {!map}.  The pool does not own a queue: the caller's [loop] is the
+    entire worker body and is expected to block on the caller's own
+    synchronisation until told to return.  [Mutex]/[Condition] are
+    domain-safe, so the same drain discipline that worked across
+    systhreads works across domains. *)
+type workers = { domains : unit Domain.t array }
+
+(** [spawn_workers n loop] starts [n] domains each running [loop i].
+    An exception escaping [loop] is re-raised by {!join_workers}. *)
+let spawn_workers n loop : workers =
+  if n <= 0 then invalid_arg "Pool.spawn_workers: n must be positive";
+  let m = Flow_obs.Metrics.global in
+  Flow_obs.Metrics.incr ~by:n m "pool_worker_domains_spawned";
+  { domains = Array.init n (fun i -> Domain.spawn (fun () -> loop i)) }
+
+(** Join every worker domain.  The caller must already have arranged
+    for each [loop] to return (drained queue, stop flag, ...);
+    otherwise this blocks forever, exactly like [Thread.join] on a
+    worker that never exits. *)
+let join_workers (w : workers) = Array.iter Domain.join w.domains
+
+let worker_count (w : workers) = Array.length w.domains
+
 (** [map f xs]: like [List.map f xs], evaluated by {!jobs} domains.
     Result order matches input order; with one job this is exactly
     [List.map]. *)

@@ -1,32 +1,76 @@
 (** Blocking client for the flow daemon: connect, exchange one frame per
     request, poll jobs to completion.  Used by the [psaflow] service
-    subcommands and the end-to-end tests. *)
+    subcommands, the load harness and the end-to-end tests.
+
+    Timeouts: [connect ~timeout_ms] (or [PSAFLOW_CLIENT_TIMEOUT_MS])
+    bounds both the connect handshake and every subsequent receive.  An
+    expired timeout raises {!Protocol_failure} with
+    [Protocol.Timeout _] — a typed protocol-level error, not a bare
+    string — so callers can distinguish "slow daemon" from "daemon said
+    no".  Unset means the historical fully-blocking behaviour. *)
 
 type conn = { fd : Unix.file_descr }
 
 exception Client_error of string
 
-let fail fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
+(** A typed protocol error surfaced client-side: [Timeout] when a
+    configured deadline expires, [Server_busy] relayed from a daemon at
+    its connection cap, etc. *)
+exception Protocol_failure of Protocol.error_kind
 
-let connect (addr : Protocol.addr) : conn =
+let fail fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
+let timeout what = raise (Protocol_failure (Protocol.Timeout what))
+
+let default_timeout_ms () =
+  Flow_obs.Env.int_opt ~name:"PSAFLOW_CLIENT_TIMEOUT_MS" ~min:1 ()
+
+(* Bounded connect: non-blocking connect, select for writability, then
+   SO_ERROR tells us whether the handshake actually succeeded. *)
+let connect_deadline fd sockaddr ms =
+  Unix.set_nonblock fd;
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ fd ] [] (float_of_int ms /. 1000.0) with
+      | [], [], [] -> timeout (Printf.sprintf "connect after %dms" ms)
+      | _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some e -> raise (Unix.Unix_error (e, "connect", "")))));
+  Unix.clear_nonblock fd
+
+let connect ?timeout_ms (addr : Protocol.addr) : conn =
+  let timeout_ms =
+    match timeout_ms with Some _ as t -> t | None -> default_timeout_ms ()
+  in
   let domain =
     match addr with
     | Protocol.Unix_path _ -> Unix.PF_UNIX
     | Protocol.Tcp _ -> Unix.PF_INET
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Protocol.sockaddr_of_addr addr)
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     fail "cannot connect to %s: %s"
-       (Protocol.addr_to_string addr)
-       (Unix.error_message e));
+  (try
+     match timeout_ms with
+     | None -> Unix.connect fd (Protocol.sockaddr_of_addr addr)
+     | Some ms ->
+         connect_deadline fd (Protocol.sockaddr_of_addr addr) ms;
+         (* every receive from here on shares the same bound *)
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO (float_of_int ms /. 1000.0)
+   with
+  | Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "cannot connect to %s: %s"
+        (Protocol.addr_to_string addr)
+        (Unix.error_message e)
+  | Protocol_failure _ as pf ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise pf);
   { fd }
 
 let close (c : conn) = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-let with_conn addr f =
-  let c = connect addr in
+let with_conn ?timeout_ms addr f =
+  let c = connect ?timeout_ms addr in
   Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
 
 (** One request/response exchange on an open connection. *)
@@ -36,9 +80,28 @@ let request (c : conn) (req : Protocol.request) : Protocol.response =
   | None -> fail "server closed the connection"
   | Some (Error e) -> fail "cannot decode response: %s" (Protocol.error_message e)
   | Some (Ok resp) -> resp
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO expired mid-read *)
+      timeout "receive"
 
 (** One-shot exchange on a fresh connection. *)
-let rpc addr req = with_conn addr (fun c -> request c req)
+let rpc ?timeout_ms addr req = with_conn ?timeout_ms addr (fun c -> request c req)
+
+(** Submit a whole batch in one frame (protocol v2).  Per-item results
+    in submission order. *)
+let submit_batch (c : conn) (subs : Protocol.submission list) :
+    Protocol.batch_submit_item list =
+  match request c (Protocol.Submit_batch subs) with
+  | Protocol.Submitted_batch items -> items
+  | Protocol.Error e -> raise (Protocol_failure e)
+  | _ -> fail "unexpected response to submit_batch"
+
+(** Fetch many results in one frame (protocol v2). *)
+let fetch_batch (c : conn) (ids : int list) : Protocol.batch_fetch_item list =
+  match request c (Protocol.Fetch_batch ids) with
+  | Protocol.Results_batch items -> items
+  | Protocol.Error e -> raise (Protocol_failure e)
+  | _ -> fail "unexpected response to fetch_batch"
 
 (** Poll [job_id] until it is done (returning its result), failed, or
     [timeout_s] elapses. *)

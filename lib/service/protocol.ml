@@ -8,13 +8,31 @@
 
     Requests: [submit_flow] (a registered benchmark or inline MiniC
     source; informed/uninformed mode; PSA strategy; optional budget),
-    [job_status], [fetch_result], [list_jobs], [metrics], [shutdown].
+    [job_status], [fetch_result], [list_jobs], [metrics], [shutdown] —
+    and, since protocol version 2, [submit_batch]/[fetch_batch], which
+    carry many jobs in one frame so a load generator does not pay one
+    round-trip per request.  Batch items succeed or fail independently:
+    one poison MiniC source rejects that item with its typed error
+    while the rest of the frame proceeds.
 
     Errors are typed so clients can react programmatically: MiniC parse
-    and typecheck failures, unknown benchmarks, queue-full backpressure
-    and malformed/mis-versioned requests each have their own tag. *)
+    and typecheck failures, unknown benchmarks, queue-full backpressure,
+    connection-limit rejection ([server_busy]), client-side timeouts and
+    malformed/mis-versioned requests each have their own tag. *)
 
-let version = 1
+(** Current protocol version.  v2 added [submit_batch]/[fetch_batch]
+    and the [server_busy]/[timeout] error tags. *)
+let version = 2
+
+(** Oldest version still accepted on decode.  v1 peers can keep
+    speaking every single-job request unchanged; only the batch frames
+    demand v2. *)
+let min_version = 1
+
+(** Items allowed in one [submit_batch]/[fetch_batch] frame.  A frame
+    beyond this is refused with [Bad_request] instead of letting one
+    peer monopolise the scheduler lock for an unbounded scan. *)
+let max_batch_jobs = 256
 
 (** Frames larger than this are refused on both ends; a stray
     non-protocol peer writing garbage otherwise turns into a
@@ -48,8 +66,10 @@ let submission ?(mode = Informed) ?(strategy = Fig3) ?(x_threshold = 2.0)
 
 type request =
   | Submit_flow of submission
+  | Submit_batch of submission list  (** v2: many submissions, one frame *)
   | Job_status of int
   | Fetch_result of int
+  | Fetch_batch of int list  (** v2: many fetches, one frame *)
   | List_jobs
   | Metrics
   | Shutdown
@@ -78,13 +98,30 @@ type error_kind =
   | Minic_parse_error of string
   | Minic_type_error of string
   | Queue_full
+  | Server_busy  (** connection limit reached; queue-full-style rejection *)
+  | Timeout of string  (** client-side connect/receive deadline elapsed *)
   | Unknown_job of int
   | Server_error of string
 
+type disposition = [ `Fresh | `Coalesced | `Cached ]
+
+(** One item of a [submitted_batch] response: accepted with an id and
+    disposition, or rejected with the same typed error a single-job
+    submission would get. *)
+type batch_submit_item = (int * disposition, error_kind) result
+
+(** One item of a [results_batch] response: the job's view plus its
+    result once [Done] ([None] while queued/running — the client
+    decides whether to re-poll), or a typed error (unknown id,
+    failure). *)
+type batch_fetch_item = (job_view * job_result option, error_kind) result
+
 type response =
-  | Submitted of { job_id : int; disposition : [ `Fresh | `Coalesced | `Cached ] }
+  | Submitted of { job_id : int; disposition : disposition }
+  | Submitted_batch of batch_submit_item list
   | Status of job_view
   | Result of job_view * job_result
+  | Results_batch of batch_fetch_item list
   | Jobs of job_view list
   | Metrics_data of Json.t
   | Shutting_down
@@ -134,6 +171,8 @@ let error_message = function
   | Minic_parse_error m -> Printf.sprintf "MiniC parse error: %s" m
   | Minic_type_error m -> Printf.sprintf "MiniC type error: %s" m
   | Queue_full -> "job queue is full, retry later"
+  | Server_busy -> "server connection limit reached, retry later"
+  | Timeout m -> Printf.sprintf "timed out: %s" m
   | Unknown_job id -> Printf.sprintf "no job #%d" id
   | Server_error m -> Printf.sprintf "server error: %s" m
 
@@ -145,25 +184,42 @@ open Json
 
 let opt_field name f = function None -> [] | Some v -> [ (name, f v) ]
 
+let submission_fields (s : submission) =
+  (match s.source with
+  | Bench id -> [ ("bench", String id) ]
+  | Inline src -> [ ("source", String src) ])
+  @ [
+      ("mode", String (mode_to_string s.mode));
+      ("strategy", String (strategy_to_string s.strategy));
+      ("x_threshold", Float s.x_threshold);
+    ]
+  @ opt_field "budget" (fun b -> Float b) s.budget
+  @ if s.trace then [ ("trace", Bool true) ] else []
+
 let request_to_json = function
   | Submit_flow s ->
       Obj
         ([ ("v", Int version); ("type", String "submit_flow") ]
-        @ (match s.source with
-          | Bench id -> [ ("bench", String id) ]
-          | Inline src -> [ ("source", String src) ])
-        @ [
-            ("mode", String (mode_to_string s.mode));
-            ("strategy", String (strategy_to_string s.strategy));
-            ("x_threshold", Float s.x_threshold);
-          ]
-        @ opt_field "budget" (fun b -> Float b) s.budget
-        @ (if s.trace then [ ("trace", Bool true) ] else []))
+        @ submission_fields s)
+  | Submit_batch ss ->
+      Obj
+        [
+          ("v", Int version);
+          ("type", String "submit_batch");
+          ("jobs", List (List.map (fun s -> Obj (submission_fields s)) ss));
+        ]
   | Job_status id ->
       Obj [ ("v", Int version); ("type", String "job_status"); ("job_id", Int id) ]
   | Fetch_result id ->
       Obj
         [ ("v", Int version); ("type", String "fetch_result"); ("job_id", Int id) ]
+  | Fetch_batch ids ->
+      Obj
+        [
+          ("v", Int version);
+          ("type", String "fetch_batch");
+          ("job_ids", List (List.map (fun id -> Int id) ids));
+        ]
   | List_jobs -> Obj [ ("v", Int version); ("type", String "list_jobs") ]
   | Metrics -> Obj [ ("v", Int version); ("type", String "metrics") ]
   | Shutdown -> Obj [ ("v", Int version); ("type", String "shutdown") ]
@@ -183,7 +239,9 @@ let job_view_to_json (j : job_view) =
       | _ -> [])
     @ opt_field "wall_s" (fun s -> Float s) j.wall_s)
 
-let error_to_json e =
+(* The tag + payload fields of a typed error, shared by top-level error
+   responses and per-item batch errors. *)
+let error_fields e =
   let tag, extra =
     match e with
     | Bad_request m -> ("bad_request", [ ("message", String m) ])
@@ -192,12 +250,34 @@ let error_to_json e =
     | Minic_parse_error m -> ("minic_parse_error", [ ("message", String m) ])
     | Minic_type_error m -> ("minic_type_error", [ ("message", String m) ])
     | Queue_full -> ("queue_full", [])
+    | Server_busy -> ("server_busy", [])
+    | Timeout m -> ("timeout", [ ("message", String m) ])
     | Unknown_job id -> ("unknown_job", [ ("job_id", Int id) ])
     | Server_error m -> ("server_error", [ ("message", String m) ])
   in
-  Obj
-    ([ ("v", Int version); ("type", String "error"); ("error", String tag) ]
-    @ extra)
+  ("error", String tag) :: extra
+
+let error_to_json e =
+  Obj ([ ("v", Int version); ("type", String "error") ] @ error_fields e)
+
+let batch_submit_item_to_json : batch_submit_item -> Json.t = function
+  | Ok (job_id, disposition) ->
+      Obj
+        [
+          ("job_id", Int job_id);
+          ("disposition", String (disposition_to_string disposition));
+        ]
+  | Error e -> Obj (error_fields e)
+
+let batch_fetch_item_to_json : batch_fetch_item -> Json.t = function
+  | Ok (view, result) ->
+      Obj
+        (("job", job_view_to_json view)
+        ::
+        (match result with
+        | Some r -> [ ("report", String r.report); ("data", r.data) ]
+        | None -> []))
+  | Error e -> Obj (error_fields e)
 
 let response_to_json = function
   | Submitted { job_id; disposition } ->
@@ -207,6 +287,20 @@ let response_to_json = function
           ("type", String "submitted");
           ("job_id", Int job_id);
           ("disposition", String (disposition_to_string disposition));
+        ]
+  | Submitted_batch items ->
+      Obj
+        [
+          ("v", Int version);
+          ("type", String "submitted_batch");
+          ("items", List (List.map batch_submit_item_to_json items));
+        ]
+  | Results_batch items ->
+      Obj
+        [
+          ("v", Int version);
+          ("type", String "results_batch");
+          ("items", List (List.map batch_fetch_item_to_json items));
         ]
   | Status j ->
       Obj [ ("v", Int version); ("type", String "status"); ("job", job_view_to_json j) ]
@@ -253,9 +347,11 @@ let opt name conv j =
 
 let ( let* ) = Result.bind
 
+(* Accepts any version in [min_version, version] and returns it: the
+   caller gates version-specific message types on the value. *)
 let check_version j =
   let* v = field "v" to_int_opt j in
-  if v = version then Ok () else Error (Bad_version v)
+  if v >= min_version && v <= version then Ok v else Error (Bad_version v)
 
 let submission_of_json j =
   let* source =
@@ -281,19 +377,66 @@ let submission_of_json j =
       trace = Option.value trace ~default:false;
     }
 
+(* A batch list must be present, within [max_batch_jobs], and non-empty
+   (an empty batch is almost certainly a client bug; refusing it beats
+   answering with an empty frame that looks like success). *)
+let batch_items name j =
+  let* items = field name to_list_opt j in
+  if items = [] then Error (Bad_request (Printf.sprintf "empty %S" name))
+  else if List.length items > max_batch_jobs then
+    Error
+      (Bad_request
+         (Printf.sprintf "batch of %d exceeds the limit of %d"
+            (List.length items) max_batch_jobs))
+  else Ok items
+
+(* Batch requests appeared in v2; a peer declaring v1 gets a typed
+   refusal naming the version floor instead of a decoded request its
+   declared version cannot contain. *)
+let require_v2 v ty =
+  if v >= 2 then Ok ()
+  else
+    Error
+      (Bad_request (Printf.sprintf "%S requires protocol version >= 2" ty))
+
 let request_of_json j : (request, error_kind) result =
-  let* () = check_version j in
+  let* v = check_version j in
   let* ty = field "type" to_string_opt j in
   match ty with
   | "submit_flow" ->
       let* s = submission_of_json j in
       Ok (Submit_flow s)
+  | "submit_batch" ->
+      let* () = require_v2 v ty in
+      let* items = batch_items "jobs" j in
+      let* subs =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* s = submission_of_json item in
+            Ok (s :: acc))
+          (Ok []) items
+      in
+      Ok (Submit_batch (List.rev subs))
   | "job_status" ->
       let* id = field "job_id" to_int_opt j in
       Ok (Job_status id)
   | "fetch_result" ->
       let* id = field "job_id" to_int_opt j in
       Ok (Fetch_result id)
+  | "fetch_batch" ->
+      let* () = require_v2 v ty in
+      let* items = batch_items "job_ids" j in
+      let* ids =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match to_int_opt item with
+            | Some id -> Ok (id :: acc)
+            | None -> Error (Bad_request "invalid job id in \"job_ids\""))
+          (Ok []) items
+      in
+      Ok (Fetch_batch (List.rev ids))
   | "list_jobs" -> Ok List_jobs
   | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
@@ -346,27 +489,75 @@ let error_of_json j : (error_kind, error_kind) result =
   | "minic_parse_error" -> Ok (Minic_parse_error (msg ()))
   | "minic_type_error" -> Ok (Minic_type_error (msg ()))
   | "queue_full" -> Ok Queue_full
+  | "server_busy" -> Ok Server_busy
+  | "timeout" -> Ok (Timeout (msg ()))
   | "unknown_job" ->
       let* id = field "job_id" to_int_opt j in
       Ok (Unknown_job id)
   | "server_error" -> Ok (Server_error (msg ()))
   | s -> Error (Bad_request (Printf.sprintf "unknown error tag %S" s))
 
+let disposition_of_json j =
+  let* disp = field "disposition" to_string_opt j in
+  match disp with
+  | "fresh" -> Ok `Fresh
+  | "coalesced" -> Ok `Coalesced
+  | "cached" -> Ok `Cached
+  | s -> Error (Bad_request (Printf.sprintf "unknown disposition %S" s))
+
+(* A batch item carrying an "error" field is a per-item typed error;
+   anything else decodes as the success shape. *)
+let batch_submit_item_of_json item : (batch_submit_item, error_kind) result =
+  match member "error" item with
+  | Some _ ->
+      let* e = error_of_json item in
+      Ok (Stdlib.Error e)
+  | None ->
+      let* job_id = field "job_id" to_int_opt item in
+      let* disposition = disposition_of_json item in
+      Ok (Stdlib.Ok (job_id, disposition))
+
+let batch_fetch_item_of_json item : (batch_fetch_item, error_kind) result =
+  match member "error" item with
+  | Some _ ->
+      let* e = error_of_json item in
+      Ok (Stdlib.Error e)
+  | None -> (
+      let* jv = field "job" Option.some item in
+      let* view = job_view_of_json jv in
+      match (member "report" item, member "data" item) with
+      | Some (String report), Some data ->
+          Ok (Stdlib.Ok (view, Some { report; data }))
+      | None, None -> Ok (Stdlib.Ok (view, None))
+      | _ -> Error (Bad_request "batch item carries report without data"))
+
+let decode_batch of_item items =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* v = of_item item in
+      Ok (v :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
 let response_of_json j : (response, error_kind) result =
-  let* () = check_version j in
+  let* v = check_version j in
   let* ty = field "type" to_string_opt j in
   match ty with
   | "submitted" ->
       let* job_id = field "job_id" to_int_opt j in
-      let* disp = field "disposition" to_string_opt j in
-      let* disposition =
-        match disp with
-        | "fresh" -> Ok `Fresh
-        | "coalesced" -> Ok `Coalesced
-        | "cached" -> Ok `Cached
-        | s -> Error (Bad_request (Printf.sprintf "unknown disposition %S" s))
-      in
+      let* disposition = disposition_of_json j in
       Ok (Submitted { job_id; disposition })
+  | "submitted_batch" ->
+      let* () = require_v2 v ty in
+      let* items = batch_items "items" j in
+      let* items = decode_batch batch_submit_item_of_json items in
+      Ok (Submitted_batch items)
+  | "results_batch" ->
+      let* () = require_v2 v ty in
+      let* items = batch_items "items" j in
+      let* items = decode_batch batch_fetch_item_of_json items in
+      Ok (Results_batch items)
   | "status" ->
       let* jv = field "job" Option.some j in
       let* view = job_view_of_json jv in

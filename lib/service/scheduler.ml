@@ -1,4 +1,4 @@
-(** Job scheduler: a bounded FIFO queue drained by N worker threads.
+(** Job scheduler: a bounded FIFO queue drained by N worker domains.
 
     Jobs move through queued -> running -> done/failed; every transition
     is timestamped so status responses report wall-clock.  Submissions
@@ -17,9 +17,15 @@
     queue is run to empty, workers are joined.
 
     Worker count defaults to [PSAFLOW_SERVICE_WORKERS] if set.  Workers
-    are systhreads — request handling and job execution interleave, while
-    CPU parallelism inside one flow still comes from the domain pool the
-    engine already uses ([Dse.Pool]). *)
+    are OCaml 5 [Domain]s spawned through {!Flow_par.Pool}, so N jobs
+    execute truly in parallel on multi-core hosts — systhread workers
+    only ever interleaved on one runtime lock.  The scheduler's own
+    state stays behind one mutex (submission bookkeeping is cheap);
+    results land in the digest-sharded {!Store} whose per-shard locks
+    keep concurrent hits from serializing.  All engine state a flow
+    touches while running is domain-safe: the profile cache is
+    mutex-guarded, MiniC statement ids come from an [Atomic] counter,
+    the metrics registry locks, and [rand01] state is per-run. *)
 
 type job = {
   id : int;
@@ -50,11 +56,16 @@ type t = {
   mutable accepting : bool;
   mutable stopping : bool;
   mutable running : int;
-  mutable workers : Thread.t list;
+  mutable workers : Flow_par.Pool.workers option;
 }
 
+(* Default domain count: one worker per core up to 8 (flow execution is
+   memory-bandwidth-hungry, like the DSE pool), never fewer than 2 so a
+   slow job cannot starve the queue even on a 1-core container. *)
 let default_workers () =
-  Flow_obs.Env.int ~name:"PSAFLOW_SERVICE_WORKERS" ~default:2 ~min:1 ()
+  Flow_obs.Env.int ~name:"PSAFLOW_SERVICE_WORKERS"
+    ~default:(max 2 (min 8 (Domain.recommended_domain_count ())))
+    ~min:1 ()
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -93,7 +104,7 @@ let finish_locked t job outcome =
   t.running <- t.running - 1;
   Condition.broadcast t.idle
 
-let worker_loop t =
+let worker_loop t (_worker : int) =
   let rec next () =
     Mutex.lock t.lock;
     let rec await () =
@@ -127,7 +138,7 @@ let worker_loop t =
   next ()
 
 let create ?(workers = default_workers ()) ?(queue_capacity = 64)
-    ?(store_capacity = 256) ~metrics () =
+    ?(store_capacity = 256) ?store_shards ~metrics () =
   if workers <= 0 then invalid_arg "Scheduler.create: workers must be positive";
   if queue_capacity <= 0 then
     invalid_arg "Scheduler.create: queue_capacity must be positive";
@@ -140,17 +151,18 @@ let create ?(workers = default_workers ()) ?(queue_capacity = 64)
       queue_capacity;
       jobs = Hashtbl.create 64;
       active_by_key = Hashtbl.create 64;
-      store = Store.create ~capacity:store_capacity;
+      store = Store.create ?shards:store_shards ~capacity:store_capacity ();
       metrics;
       next_id = 0;
       accepting = true;
       stopping = false;
       running = 0;
-      workers = [];
+      workers = None;
     }
   in
   Metrics.set_gauge metrics "queue_depth" 0.0;
-  t.workers <- List.init workers (fun _ -> Thread.create worker_loop t);
+  Metrics.set_gauge metrics "worker_domains" (float_of_int workers);
+  t.workers <- Some (Flow_par.Pool.spawn_workers workers (worker_loop t));
   t
 
 (** Submit one resolved job.  [run] must be self-contained (it executes
@@ -254,8 +266,10 @@ let list t : Protocol.job_view list =
       |> List.map view_locked)
 
 let store_stats t = Store.stats t.store
+let store_shard_stats t = Store.shard_stats t.store
 
-(** Stop accepting submissions, run the queue dry, join the workers. *)
+(** Stop accepting submissions, run the queue dry, join the worker
+    domains. *)
 let shutdown t =
   Mutex.lock t.lock;
   t.accepting <- false;
@@ -265,4 +279,8 @@ let shutdown t =
   t.stopping <- true;
   Condition.broadcast t.work;
   Mutex.unlock t.lock;
-  List.iter Thread.join t.workers
+  match t.workers with
+  | Some w ->
+      Flow_par.Pool.join_workers w;
+      t.workers <- None
+  | None -> ()

@@ -16,13 +16,23 @@ type config = {
   workers : int;
   queue_capacity : int;
   store_capacity : int;
+  store_shards : int;  (** digest-sharded result store; 1 = single lock *)
+  max_connections : int;
+      (** concurrent connection cap; further connects are answered with
+          a [Server_busy] error and closed (queue-full-style rejection),
+          so an accept storm cannot exhaust handler threads *)
 }
+
+let default_max_connections () =
+  Flow_obs.Env.int ~name:"PSAFLOW_MAX_CONNECTIONS" ~default:64 ~min:1 ()
 
 let default_config () =
   {
     workers = Scheduler.default_workers ();
     queue_capacity = 64;
     store_capacity = 256;
+    store_shards = Store.default_shards ();
+    max_connections = default_max_connections ();
   }
 
 type t = {
@@ -32,15 +42,34 @@ type t = {
   stop_wr : Unix.file_descr;  (** self-pipe: one byte = stop accepting *)
   mutable stopping : bool;
   stop_lock : Mutex.t;
+  max_connections : int;
+  mutable connections : int;  (** live handler threads, under [stop_lock] *)
 }
 
 let request_counter = function
   | Protocol.Submit_flow _ -> "requests_submit_flow"
+  | Protocol.Submit_batch _ -> "requests_submit_batch"
   | Protocol.Job_status _ -> "requests_job_status"
   | Protocol.Fetch_result _ -> "requests_fetch_result"
+  | Protocol.Fetch_batch _ -> "requests_fetch_batch"
   | Protocol.List_jobs -> "requests_list_jobs"
   | Protocol.Metrics -> "requests_metrics"
   | Protocol.Shutdown -> "requests_shutdown"
+
+let shard_stats_json t : Json.t =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun (s : Store.shard_stat) ->
+            Json.Obj
+              [
+                ("length", Json.Int s.st_length);
+                ("capacity", Json.Int s.st_capacity);
+                ("hits", Json.Int s.st_hits);
+                ("misses", Json.Int s.st_misses);
+                ("evictions", Json.Int s.st_evictions);
+              ])
+          (Scheduler.store_shard_stats t.sched)))
 
 let metrics_json t : Json.t =
   let hits, misses = Scheduler.store_stats t.sched in
@@ -49,6 +78,7 @@ let metrics_json t : Json.t =
       [
         ("store_hits", Json.Int hits);
         ("store_misses", Json.Int misses);
+        ("store_shards", shard_stats_json t);
         (* the process-wide engine registry: profile-cache hit/miss/
            eviction, pool utilisation, interpreter cycles, DSE candidate
            counts — everything the flow engine records while jobs run *)
@@ -68,27 +98,44 @@ let begin_shutdown t =
     try ignore (Unix.write t.stop_wr (Bytes.make 1 '!') 0 1)
     with Unix.Unix_error _ -> ()
 
+(* One submission, shared by the single and batch paths.  The batch
+   variant reports failures per item instead of failing the frame, so a
+   poison job in position 3 does not void positions 0-2. *)
+let submit_one t (s : Protocol.submission) :
+    (int * Protocol.disposition, Protocol.error_kind) result =
+  match Flow_exec.resolve s with
+  | Error e ->
+      Metrics.incr t.metrics "requests_rejected";
+      Error e
+  | Ok { key; label; run } -> (
+      match
+        Scheduler.submit t.sched ~key ~label ~mode:s.mode ~strategy:s.strategy
+          run
+      with
+      | Ok (job_id, disposition) -> Ok (job_id, disposition)
+      | Error `Queue_full ->
+          Metrics.incr t.metrics "requests_rejected";
+          Error Protocol.Queue_full
+      | Error `Shutting_down ->
+          Metrics.incr t.metrics "requests_rejected";
+          Error (Protocol.Server_error "shutting down"))
+
+let fetch_one t id : Protocol.batch_fetch_item =
+  match Scheduler.result t.sched id with
+  | None -> Error (Protocol.Unknown_job id)
+  | Some (view, Some r) when view.state = Protocol.Done -> Ok (view, Some r)
+  | Some (view, _) -> Ok (view, None)
+
 let handle_request t (req : Protocol.request) : Protocol.response =
   Metrics.incr t.metrics "requests_total";
   Metrics.incr t.metrics (request_counter req);
   match req with
   | Protocol.Submit_flow s -> (
-      match Flow_exec.resolve s with
-      | Error e ->
-          Metrics.incr t.metrics "requests_rejected";
-          Protocol.Error e
-      | Ok { key; label; run } -> (
-          match
-            Scheduler.submit t.sched ~key ~label ~mode:s.mode
-              ~strategy:s.strategy run
-          with
-          | Ok (job_id, disposition) -> Protocol.Submitted { job_id; disposition }
-          | Error `Queue_full ->
-              Metrics.incr t.metrics "requests_rejected";
-              Protocol.Error Protocol.Queue_full
-          | Error `Shutting_down ->
-              Metrics.incr t.metrics "requests_rejected";
-              Protocol.Error (Protocol.Server_error "shutting down")))
+      match submit_one t s with
+      | Ok (job_id, disposition) -> Protocol.Submitted { job_id; disposition }
+      | Error e -> Protocol.Error e)
+  | Protocol.Submit_batch subs ->
+      Protocol.Submitted_batch (List.map (submit_one t) subs)
   | Protocol.Job_status id -> (
       match Scheduler.status t.sched id with
       | Some view -> Protocol.Status view
@@ -101,6 +148,7 @@ let handle_request t (req : Protocol.request) : Protocol.response =
       | Some (view, _) ->
           (* not finished (or failed): report state, client decides *)
           Protocol.Status view)
+  | Protocol.Fetch_batch ids -> Protocol.Results_batch (List.map (fetch_one t) ids)
   | Protocol.List_jobs -> Protocol.Jobs (Scheduler.list t.sched)
   | Protocol.Metrics -> Protocol.Metrics_data (metrics_json t)
   | Protocol.Shutdown -> Protocol.Shutting_down
@@ -128,7 +176,34 @@ let handle_connection t fd =
              (Protocol.Bad_request (Protocol.frame_error_message fe)))
       with _ -> ())
   | Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.stop_lock;
+  t.connections <- t.connections - 1;
+  Metrics.set_gauge t.metrics "connections_active" (float_of_int t.connections);
+  Mutex.unlock t.stop_lock
+
+(* Over the cap: answer the very first frame with [Server_busy] and
+   close.  The client sees a typed error, not a hang or a reset. *)
+let reject_connection t fd =
+  Metrics.incr t.metrics "connections_rejected";
+  (try
+     match Protocol.read_request fd with
+     | None -> ()
+     | Some _ -> Protocol.write_response fd (Protocol.Error Protocol.Server_busy)
+   with Protocol.Frame_error _ | Unix.Unix_error _ | Sys_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Claim a connection slot; the handler thread releases it on exit. *)
+let try_admit t =
+  Mutex.lock t.stop_lock;
+  let admitted = t.connections < t.max_connections in
+  if admitted then begin
+    t.connections <- t.connections + 1;
+    Metrics.set_gauge t.metrics "connections_active"
+      (float_of_int t.connections)
+  end;
+  Mutex.unlock t.stop_lock;
+  admitted
 
 (** Bind and serve until a [shutdown] request arrives.  Blocks.  The
     Unix socket path is unlinked before bind and after drain. *)
@@ -160,7 +235,8 @@ let serve ?(config = default_config ()) (addr : Protocol.addr) =
   let sched =
     Scheduler.create ~workers:config.workers
       ~queue_capacity:config.queue_capacity
-      ~store_capacity:config.store_capacity ~metrics ()
+      ~store_capacity:config.store_capacity ~store_shards:config.store_shards
+      ~metrics ()
   in
   let stop_rd, stop_wr = Unix.pipe () in
   let t =
@@ -171,6 +247,8 @@ let serve ?(config = default_config ()) (addr : Protocol.addr) =
       stop_wr;
       stopping = false;
       stop_lock = Mutex.create ();
+      max_connections = config.max_connections;
+      connections = 0;
     }
   in
   Flow_obs.Log.infof "daemon listening on %s (%d workers)"
@@ -183,8 +261,16 @@ let serve ?(config = default_config ()) (addr : Protocol.addr) =
         else begin
           (match Unix.accept listener with
           | fd, _ ->
-              Flow_obs.Log.debugf "daemon: connection accepted";
-              ignore (Thread.create (handle_connection t) fd)
+              if try_admit t then begin
+                Flow_obs.Log.debugf "daemon: connection accepted";
+                ignore (Thread.create (handle_connection t) fd)
+              end
+              else begin
+                Flow_obs.Log.warnf
+                  "daemon: connection rejected (limit %d reached)"
+                  t.max_connections;
+                ignore (Thread.create (reject_connection t) fd)
+              end
           | exception Unix.Unix_error _ -> ());
           accept_loop ()
         end

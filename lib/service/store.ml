@@ -1,4 +1,4 @@
-(** Content-addressed result store.
+(** Content-addressed result store, sharded by digest prefix.
 
     Finished flow results are stored under a digest of everything that
     determines them — the MiniC source text, the workload sizes, the
@@ -9,35 +9,73 @@
     results: duplicates are deduped into one execution and repeat
     requests are O(1) hits here.
 
-    Capacity is bounded with LRU eviction (lookups refresh recency).
-    The table is guarded by a mutex so scheduler workers and server
-    connection threads can share it. *)
+    The table is split into N independent shards, each with its own
+    mutex, LRU clock and hit/miss/eviction counters; a key's shard is a
+    pure function of its digest prefix, so concurrent hits on different
+    digests never serialize on a shared lock.  MD5 digests are uniform,
+    so the shards fill evenly.  [PSAFLOW_STORE_SHARDS] (or the [shards]
+    argument) sets the shard count; 1 restores the old single-mutex
+    store bit-for-bit.
 
-type 'a t = {
+    Capacity is bounded per shard with LRU eviction (lookups refresh
+    recency): a store of capacity C over N shards holds at most
+    ceil(C/N) entries per shard. *)
+
+type 'a shard = {
   capacity : int;
   lock : Mutex.t;
   table : (string, 'a entry) Hashtbl.t;
   mutable tick : int;  (** recency clock: larger = more recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 and 'a entry = { value : 'a; mutable last_use : int }
 
-let create ~capacity =
+type 'a t = { shards : 'a shard array }
+
+let default_shards () =
+  Flow_obs.Env.int ~name:"PSAFLOW_STORE_SHARDS" ~default:8 ~min:1 ()
+
+let create ?(shards = default_shards ()) ~capacity () =
   if capacity <= 0 then invalid_arg "Store.create: capacity must be positive";
+  if shards <= 0 then invalid_arg "Store.create: shards must be positive";
+  let shards = min shards capacity in
+  let per_shard = (capacity + shards - 1) / shards in
   {
-    capacity;
-    lock = Mutex.create ();
-    table = Hashtbl.create (2 * capacity);
-    tick = 0;
-    hits = 0;
-    misses = 0;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            capacity = per_shard;
+            lock = Mutex.create ();
+            table = Hashtbl.create (2 * per_shard);
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
   }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let shard_count t = Array.length t.shards
+
+(** Which shard holds [k]: the first four hex digits of the digest,
+    folded and reduced mod the shard count.  Pure, so tests can place
+    colliding keys deliberately. *)
+let shard_index t k =
+  let n = Array.length t.shards in
+  if n = 1 then 0
+  else begin
+    let h = ref 0 in
+    for i = 0 to min 3 (String.length k - 1) do
+      h := (!h * 16) + (Char.code k.[i] land 15) + (Char.code k.[i] lsr 6)
+    done;
+    !h mod n
+  end
+
+let with_lock (s : _ shard) f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 (** Digest of the determining inputs of one flow execution.  [source] is
     the full MiniC text (content, not benchmark name); [workload]
@@ -59,46 +97,84 @@ let key ~source ~mode ~strategy ~x_threshold ~budget ~workload =
   Buffer.add_string buf workload;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let touch t e =
-  t.tick <- t.tick + 1;
-  e.last_use <- t.tick
+let touch (s : _ shard) e =
+  s.tick <- s.tick + 1;
+  e.last_use <- s.tick
 
 let find t k =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.table k with
+  let s = t.shards.(shard_index t k) in
+  with_lock s (fun () ->
+      match Hashtbl.find_opt s.table k with
       | Some e ->
-          t.hits <- t.hits + 1;
-          touch t e;
+          s.hits <- s.hits + 1;
+          touch s e;
           Some e.value
       | None ->
-          t.misses <- t.misses + 1;
+          s.misses <- s.misses + 1;
           None)
 
-let mem t k = with_lock t (fun () -> Hashtbl.mem t.table k)
+let mem t k =
+  let s = t.shards.(shard_index t k) in
+  with_lock s (fun () -> Hashtbl.mem s.table k)
 
-(* Capacity is small (hundreds); a linear scan for the LRU victim keeps
-   the structure to one table instead of table + intrusive list. *)
-let evict_lru_locked t =
+(* Per-shard capacity is small (tens); a linear scan for the LRU victim
+   keeps the structure to one table instead of table + intrusive list. *)
+let evict_lru_locked (s : _ shard) =
   let victim =
     Hashtbl.fold
       (fun k e acc ->
         match acc with
         | Some (_, best) when best <= e.last_use -> acc
         | _ -> Some (k, e.last_use))
-      t.table None
+      s.table None
   in
-  match victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove s.table k;
+      s.evictions <- s.evictions + 1
+  | None -> ()
 
 let add t k v =
-  with_lock t (fun () ->
-      (match Hashtbl.find_opt t.table k with
-      | Some _ -> Hashtbl.remove t.table k
+  let s = t.shards.(shard_index t k) in
+  with_lock s (fun () ->
+      (match Hashtbl.find_opt s.table k with
+      | Some _ -> Hashtbl.remove s.table k
       | None -> ());
-      if Hashtbl.length t.table >= t.capacity then evict_lru_locked t;
-      t.tick <- t.tick + 1;
-      Hashtbl.add t.table k { value = v; last_use = t.tick })
+      if Hashtbl.length s.table >= s.capacity then evict_lru_locked s;
+      s.tick <- s.tick + 1;
+      Hashtbl.add s.table k { value = v; last_use = s.tick })
 
-let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.table))
+    0 t.shards
 
-(** Cumulative (hits, misses) of {!find} since creation. *)
-let stats t = with_lock t (fun () -> (t.hits, t.misses))
+(** Cumulative (hits, misses) of {!find} since creation, summed across
+    shards. *)
+let stats t =
+  Array.fold_left
+    (fun (h, m) s -> with_lock s (fun () -> (h + s.hits, m + s.misses)))
+    (0, 0) t.shards
+
+(** One shard's observable state, for metrics and the concurrency
+    tests. *)
+type shard_stat = {
+  st_length : int;
+  st_capacity : int;
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+}
+
+let shard_stats t : shard_stat array =
+  Array.map
+    (fun s ->
+      with_lock s (fun () ->
+          {
+            st_length = Hashtbl.length s.table;
+            st_capacity = s.capacity;
+            st_hits = s.hits;
+            st_misses = s.misses;
+            st_evictions = s.evictions;
+          }))
+    t.shards

@@ -11,10 +11,12 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
-echo "== perf gate (bench/main.exe perf --quick + regression check) =="
-# Runs the quick perf bench, checks every outputs_identical flag and
-# fails on a >30% interp-throughput regression vs the committed
-# BENCH_psaflow.json.
+echo "== perf gate (perf --quick + svc-load --quick + regression check) =="
+# Runs the quick perf bench and the quick svc-load daemon replay,
+# checks every outputs_identical flag (including the service replay's
+# byte-identity against direct execution) and fails on a >30%
+# interp-throughput regression or a service throughput/p99 regression
+# vs the committed BENCH_psaflow.json.
 sh scripts/perf_gate.sh
 
 # The fused single-pass profile bounds the cold flow at one interpreter

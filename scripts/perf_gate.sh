@@ -11,10 +11,12 @@
 #     committed baseline.
 #
 # Gated fields: interp.threaded.mcycles_per_s and
-# interp.bytecode.mcycles_per_s.  A field absent from the committed
-# baseline (older BENCH format) is skipped with a notice rather than
-# failed, so the gate stays usable across format growth; a field absent
-# from the fresh file is a hard failure.
+# interp.bytecode.mcycles_per_s, plus the daemon's
+# service.throughput_rps and service.p99_ms from the quick svc-load
+# replay.  A field absent from the committed baseline (older BENCH
+# format) is skipped with a notice rather than failed, so the gate
+# stays usable across format growth; a field absent from the fresh
+# file is a hard failure.
 #
 # Run from anywhere; operates on the repo this script lives in.
 set -eu
@@ -26,6 +28,12 @@ cd "$(dirname "$0")/.."
 BASELINE=$(git show HEAD:BENCH_psaflow.json 2>/dev/null || true)
 
 dune exec bench/main.exe -- perf --quick
+
+# Quick daemon replay: exits non-zero by itself when any sampled daemon
+# result is not byte-identical to direct execution or when unexpected
+# errors appear, so a mismatch hard-fails the gate before any
+# throughput comparison.
+dune exec bench/main.exe -- svc-load --quick
 
 # interp.<engine>.mcycles_per_s: the first "mcycles_per_s" after the
 # engine key (the pretty-printed field order is stable).
@@ -69,5 +77,51 @@ baseline $BASE"
 (>= 70% required)"
   fi
 done
+# service.<field>: the first <field> after the "service" key.  The
+# value is taken after the colon so numeric field names (p99_ms) don't
+# match themselves.
+service_field() {
+  awk -v field="\"$1\"" 'index($0, "\"service\"") { t = 1 }
+       t && index($0, field) {
+         sub(/^[^:]*: */, "")
+         match($0, /[0-9][0-9.eE+-]*/)
+         print substr($0, RSTART, RLENGTH)
+         exit
+       }'
+}
+
+NEW_RPS=$(service_field throughput_rps <BENCH_psaflow.json)
+NEW_P99=$(service_field p99_ms <BENCH_psaflow.json)
+if [ -z "$NEW_RPS" ] || [ -z "$NEW_P99" ]; then
+  echo "FAIL: BENCH_psaflow.json has no service.throughput_rps / service.p99_ms"
+  exit 1
+fi
+BASE_RPS=$(printf '%s\n' "$BASELINE" | service_field throughput_rps)
+BASE_P99=$(printf '%s\n' "$BASELINE" | service_field p99_ms)
+if [ -z "$BASE_RPS" ] || [ -z "$BASE_P99" ]; then
+  echo "perf gate: no service section in committed baseline; skipping \
+service regression check (measured $NEW_RPS req/s, p99 ${NEW_P99} ms)"
+else
+  # The committed baseline is the full replay (8 connections, ~21k
+  # requests); the gate replays the quick mix (4 connections, ~2k), so
+  # the thresholds are deliberately loose: >= 50% of baseline
+  # throughput, p99 within 4x.
+  if awk -v new="$NEW_RPS" -v base="$BASE_RPS" \
+       'BEGIN { exit !(new < 0.5 * base) }'
+  then
+    echo "FAIL: service.throughput_rps fell below 50% of baseline: \
+$NEW_RPS vs $BASE_RPS"
+    FAILED=1
+  elif awk -v new="$NEW_P99" -v base="$BASE_P99" \
+       'BEGIN { exit !(new > 4.0 * base) }'
+  then
+    echo "FAIL: service.p99_ms exceeds 4x baseline: $NEW_P99 vs $BASE_P99"
+    FAILED=1
+  else
+    echo "perf gate: service $NEW_RPS req/s (baseline $BASE_RPS, >= 50% \
+required), p99 $NEW_P99 ms (baseline $BASE_P99, <= 4x allowed)"
+  fi
+fi
+
 [ "$FAILED" -eq 0 ] || exit 1
 echo "perf gate: outputs identical, no >30% regression"

@@ -151,6 +151,13 @@ let sample_requests : Protocol.request list =
          (Protocol.Inline "int main() { return 0; }"));
     Protocol.Job_status 7;
     Protocol.Fetch_result 3;
+    Protocol.Submit_batch
+      [
+        Protocol.submission (Protocol.Bench "nbody");
+        Protocol.submission ~strategy:Protocol.Model_perf
+          (Protocol.Inline "int main() { return 0; }");
+      ];
+    Protocol.Fetch_batch [ 1; 2; 3 ];
     Protocol.List_jobs;
     Protocol.Metrics;
     Protocol.Shutdown;
@@ -190,8 +197,29 @@ let sample_responses : Protocol.response list =
     Protocol.Error (Protocol.Minic_parse_error "unexpected ')' at 3:1");
     Protocol.Error (Protocol.Minic_type_error "int vs double at 1:4");
     Protocol.Error Protocol.Queue_full;
+    Protocol.Error Protocol.Server_busy;
+    Protocol.Error (Protocol.Timeout "receive");
     Protocol.Error (Protocol.Unknown_job 12);
     Protocol.Error (Protocol.Server_error "disk on fire");
+    Protocol.Submitted_batch
+      [
+        Ok (4, `Fresh);
+        Ok (5, `Cached);
+        Error (Protocol.Minic_parse_error "unexpected '{' at 1:11");
+        Error Protocol.Queue_full;
+      ];
+    Protocol.Results_batch
+      [
+        Ok
+          ( sample_view,
+            Some
+              {
+                Protocol.report = "\ntable\nbest: y (3.0x)\n";
+                data = Json.Obj [ ("best", Json.String "y") ];
+              } );
+        Ok ({ sample_view with state = Protocol.Running }, None);
+        Error (Protocol.Unknown_job 77);
+      ];
   ]
 
 let test_protocol_roundtrip () =
@@ -235,6 +263,123 @@ let test_protocol_versioning () =
      with
     | Error (Protocol.Bad_request _) -> true
     | _ -> false)
+
+(* --- batch frames (protocol v2) ------------------------------------ *)
+
+let gen_submission =
+  let open QCheck.Gen in
+  let* source =
+    oneof
+      [
+        map (fun i -> Protocol.Bench (Printf.sprintf "bench%d" i)) (int_bound 9);
+        map
+          (fun i -> Protocol.Inline (Printf.sprintf "int main() { return %d; }" i))
+          (int_bound 99);
+      ]
+  in
+  let* mode = oneofl [ Protocol.Informed; Protocol.Uninformed ] in
+  let* strategy =
+    oneofl
+      [ Protocol.Fig3; Protocol.Model_perf; Protocol.Model_cost;
+        Protocol.Model_energy ]
+  in
+  let* x_threshold = map float_of_int (int_range 1 16) in
+  let* budget = opt (map (fun n -> float_of_int n /. 4.0) (int_range 1 8)) in
+  let* trace = bool in
+  return { Protocol.source; mode; strategy; x_threshold; budget; trace }
+
+let arb_submit_batch =
+  QCheck.make
+    ~print:(fun subs ->
+      Json.to_string (Protocol.request_to_json (Protocol.Submit_batch subs)))
+    QCheck.Gen.(list_size (int_range 1 20) gen_submission)
+
+let batch_request_roundtrip =
+  Helpers.qtest ~count:200 "submit_batch frame round-trips" arb_submit_batch
+    (fun subs ->
+      let req = Protocol.Submit_batch subs in
+      let j = Json.parse (Json.to_string (Protocol.request_to_json req)) in
+      Protocol.request_of_json j = Ok req)
+
+let fetch_batch_roundtrip =
+  Helpers.qtest ~count:200 "fetch_batch frame round-trips"
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 1 10_000))
+    (fun ids ->
+      let req = Protocol.Fetch_batch ids in
+      let j = Json.parse (Json.to_string (Protocol.request_to_json req)) in
+      Protocol.request_of_json j = Ok req)
+
+let test_batch_limits () =
+  let is_bad = function Error (Protocol.Bad_request _) -> true | _ -> false in
+  let reparse j = Json.parse (Json.to_string j) in
+  (* empty batches are refused *)
+  check "empty submit_batch refused" true
+    (is_bad
+       (Protocol.request_of_json
+          (reparse (Protocol.request_to_json (Protocol.Submit_batch [])))));
+  check "empty fetch_batch refused" true
+    (is_bad
+       (Protocol.request_of_json
+          (reparse (Protocol.request_to_json (Protocol.Fetch_batch [])))));
+  (* a batch at the cap decodes; one past it is refused *)
+  let ids n = List.init n (fun i -> i + 1) in
+  check "batch at cap accepted" true
+    (Protocol.request_of_json
+       (reparse
+          (Protocol.request_to_json
+             (Protocol.Fetch_batch (ids Protocol.max_batch_jobs))))
+    = Ok (Protocol.Fetch_batch (ids Protocol.max_batch_jobs)));
+  check "oversized batch refused" true
+    (is_bad
+       (Protocol.request_of_json
+          (reparse
+             (Protocol.request_to_json
+                (Protocol.Fetch_batch (ids (Protocol.max_batch_jobs + 1)))))));
+  (* batch frames are v2: the same frame stamped v1 is refused *)
+  let downgrade = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, v) -> if k = "v" then (k, Json.Int 1) else (k, v))
+             fields)
+    | j -> j
+  in
+  check "v1 fetch_batch refused" true
+    (is_bad
+       (Protocol.request_of_json
+          (downgrade (reparse (Protocol.request_to_json (Protocol.Fetch_batch [ 1 ]))))));
+  check "v1 submit_batch refused" true
+    (is_bad
+       (Protocol.request_of_json
+          (downgrade
+             (reparse
+                (Protocol.request_to_json
+                   (Protocol.Submit_batch
+                      [ Protocol.submission (Protocol.Bench "nbody") ]))))));
+  (* a truncated batch item (report without data) is refused *)
+  let truncated =
+    Json.Obj
+      [
+        ("v", Json.Int 2);
+        ("type", Json.String "results_batch");
+        ( "items",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ( "job",
+                    match
+                      Protocol.response_to_json (Protocol.Status sample_view)
+                    with
+                    | Json.Obj fields -> List.assoc "job" fields
+                    | _ -> Json.Null );
+                  ("report", Json.String "orphan report");
+                ];
+            ] );
+      ]
+  in
+  check "report-without-data refused" true
+    (is_bad (Protocol.response_of_json (reparse truncated)))
 
 (* --- framing ------------------------------------------------------- *)
 
@@ -315,7 +460,8 @@ let test_store_dedup_key () =
   check "workload changes key" true (k () <> k ~workload:"bench;profile=8" ())
 
 let test_store_lru () =
-  let s = Store.create ~capacity:2 in
+  (* one shard: the LRU order assertions need a single eviction clock *)
+  let s = Store.create ~shards:1 ~capacity:2 () in
   Store.add s "k1" 1;
   Store.add s "k2" 2;
   check "k1 present" true (Store.find s "k1" = Some 1);
@@ -332,6 +478,106 @@ let test_store_lru () =
   Store.add s "k3" 33;
   check_int "no growth on replace" 2 (Store.length s);
   check "replaced" true (Store.find s "k3" = Some 33)
+
+(* hex keys shaped like real store digests, so sharding spreads them *)
+let digest_key i = Digest.to_hex (Digest.string (Printf.sprintf "key-%d" i))
+
+let test_store_sharding () =
+  let s = Store.create ~shards:4 ~capacity:64 () in
+  check_int "shard count" 4 (Store.shard_count s);
+  (* shard_index is pure and total *)
+  for i = 0 to 99 do
+    let k = digest_key i in
+    let ix = Store.shard_index s k in
+    check "index stable" true (ix = Store.shard_index s k);
+    check "index in range" true (ix >= 0 && ix < 4)
+  done;
+  (* uniform digests must not collapse into one shard *)
+  let used = Array.make 4 false in
+  for i = 0 to 99 do
+    used.(Store.shard_index s (digest_key i)) <- true
+  done;
+  check "all shards used" true (Array.for_all Fun.id used);
+  (* shards never exceed capacity; a single-shard store is valid *)
+  let one = Store.create ~shards:8 ~capacity:3 () in
+  check "shards clamped to capacity" true (Store.shard_count one <= 3);
+  let stats = Store.shard_stats s in
+  Array.iter
+    (fun (st : Store.shard_stat) ->
+      check_int "per-shard capacity" 16 st.st_capacity)
+    stats
+
+(* Domain-based hammer: concurrent adds and finds on overlapping digests
+   must lose no updates, keep every shard within its LRU bound, and
+   account every find as exactly one hit or miss. *)
+let test_store_hammer () =
+  let domains = 4 in
+  let keys_per = 64 in
+  let total_keys = domains * keys_per in
+  (* phase 1: capacity >= distinct keys, so nothing evicts and every
+     write must be readable afterwards *)
+  let s = Store.create ~shards:4 ~capacity:total_keys () in
+  let value_of k = Hashtbl.hash k in
+  let hammer d =
+    (* overlapping ranges: domain d touches [d*32, d*32 + keys_per) so
+       neighbours contend on the same digests *)
+    let base = d * (keys_per / 2) in
+    for round = 0 to 9 do
+      for i = base to base + keys_per - 1 do
+        let k = digest_key (i mod total_keys) in
+        if (i + round) mod 3 = 0 then Store.add s k (value_of k)
+        else ignore (Store.find s k)
+      done
+    done
+  in
+  let ds = Array.init domains (fun d -> Domain.spawn (fun () -> hammer d)) in
+  Array.iter Domain.join ds;
+  (* no lost updates: every key some domain added reads back its value *)
+  let written = ref 0 in
+  for i = 0 to total_keys - 1 do
+    let k = digest_key i in
+    match Store.find s k with
+    | Some v ->
+        incr written;
+        check "no torn value" true (v = value_of k)
+    | None -> ()
+  done;
+  check "most keys written and retained" true (!written > 0);
+  let hits, misses = Store.stats s in
+  check "every find accounted" true (hits + misses > 0);
+  Array.iter
+    (fun (st : Store.shard_stat) ->
+      check "phase1 within bound" true (st.st_length <= st.st_capacity);
+      check_int "phase1 no evictions" 0 st.st_evictions)
+    (Store.shard_stats s);
+  (* phase 2: capacity far below the key population; every add of a new
+     key either grows its shard or evicts from it, so per shard
+     length + evictions = adds landing there, and length never exceeds
+     the bound *)
+  let small = Store.create ~shards:4 ~capacity:32 () in
+  let adds_per_shard = Array.make 4 0 in
+  let lock = Mutex.create () in
+  let flood d =
+    let mine = Array.make 4 0 in
+    for i = d * 200 to (d * 200) + 199 do
+      let k = digest_key (100_000 + i) in
+      mine.(Store.shard_index small k) <- mine.(Store.shard_index small k) + 1;
+      Store.add small k i
+    done;
+    Mutex.lock lock;
+    Array.iteri (fun ix n -> adds_per_shard.(ix) <- adds_per_shard.(ix) + n) mine;
+    Mutex.unlock lock
+  in
+  let ds = Array.init domains (fun d -> Domain.spawn (fun () -> flood d)) in
+  Array.iter Domain.join ds;
+  Array.iteri
+    (fun ix (st : Store.shard_stat) ->
+      check "phase2 within bound" true (st.st_length <= st.st_capacity);
+      check_int
+        (Printf.sprintf "shard %d adds conserved" ix)
+        adds_per_shard.(ix)
+        (st.st_length + st.st_evictions))
+    (Store.shard_stats small)
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
@@ -474,19 +720,12 @@ let test_metrics_registry () =
 (* End-to-end: daemon on a loopback socket vs direct Std_flow          *)
 (* ------------------------------------------------------------------ *)
 
-let with_daemon f =
+let with_daemon ?(config = { (Server.default_config ()) with workers = 2;
+                              queue_capacity = 16; store_capacity = 32 }) f =
   let path = Filename.temp_file "psaflow-test" ".sock" in
   Sys.remove path;
   let addr = Protocol.Unix_path path in
-  let server =
-    Thread.create
-      (fun () ->
-        Server.serve
-          ~config:
-            { Server.workers = 2; queue_capacity = 16; store_capacity = 32 }
-          addr)
-      ()
-  in
+  let server = Thread.create (fun () -> Server.serve ~config addr) () in
   (* wait for the socket to accept connections *)
   let ready =
     wait_until (fun () ->
@@ -654,6 +893,148 @@ let test_explain_and_trace () =
                events)
       | _ -> Alcotest.fail "traced job has no embedded trace document")
 
+(* An extractable inline kernel (hotspot loop in main, array-writing
+   body), cheap enough to run many of under `Quick *)
+let inline_kernel tag =
+  Printf.sprintf
+    {|int main() {
+  double a[64];
+  double b[64];
+  for (int i = 0; i < 64; i++) { b[i] = a[i] * 1.5 + %d.0; }
+  return 0;
+}|}
+    tag
+
+let test_batch_end_to_end () =
+  with_daemon (fun addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let subs =
+        [
+          Protocol.submission (Protocol.Inline (inline_kernel 1));
+          Protocol.submission (Protocol.Inline (inline_kernel 2));
+          (* duplicate of the first: must coalesce or hit the store *)
+          Protocol.submission (Protocol.Inline (inline_kernel 1));
+          (* poison in the middle must not void its neighbours *)
+          Protocol.submission (Protocol.Inline "int main( {");
+        ]
+      in
+      let items = Client.submit_batch c subs in
+      check_int "item per submission" (List.length subs) (List.length items);
+      let id_of i = match List.nth items i with
+        | Ok (id, _) -> id
+        | Error e -> Alcotest.failf "item %d: %s" i (Protocol.error_message e)
+      in
+      (match List.nth items 0 with
+      | Ok (_, `Fresh) -> ()
+      | _ -> Alcotest.fail "first kernel should be fresh");
+      (match List.nth items 2 with
+      | Ok (id, `Coalesced) ->
+          (* an in-flight dedup rides the live job *)
+          check_int "coalesced onto item 0" (id_of 0) id
+      | Ok (_, `Cached) ->
+          (* a store hit materializes as a new, already-Done job *)
+          ()
+      | _ -> Alcotest.fail "duplicate should coalesce or hit the store");
+      (match List.nth items 3 with
+      | Error (Protocol.Minic_parse_error _) -> ()
+      | _ -> Alcotest.fail "poison item should fail alone");
+      (* drain the two real jobs through fetch_batch *)
+      let ids = [ id_of 0; id_of 1 ] in
+      let ok =
+        wait_until (fun () ->
+            List.for_all
+              (fun item ->
+                match item with
+                | Ok ({ Protocol.state = Protocol.Done; _ }, Some _) -> true
+                | _ -> false)
+              (Client.fetch_batch c ids))
+      in
+      check "batched jobs complete" true ok;
+      (* fetched batch results equal the single-fetch results *)
+      List.iter
+        (fun id ->
+          match (Client.fetch_batch c [ id ], Client.rpc addr (Protocol.Fetch_result id)) with
+          | [ Ok (_, Some batch_r) ], Protocol.Result (_, single_r) ->
+              check_str "batch = single fetch report" single_r.Protocol.report
+                batch_r.Protocol.report;
+              check "batch = single fetch data" true
+                (Json.equal batch_r.Protocol.data single_r.Protocol.data)
+          | _ -> Alcotest.fail "fetch mismatch")
+        ids;
+      (* unknown ids come back as per-item errors *)
+      match Client.fetch_batch c [ 9999 ] with
+      | [ Error (Protocol.Unknown_job 9999) ] -> ()
+      | _ -> Alcotest.fail "expected per-item unknown_job")
+
+let test_client_timeout () =
+  (* a listener that accepts nothing: connects sit in the backlog and
+     never receive a byte back *)
+  let path = Filename.temp_file "psaflow-timeout" ".sock" in
+  Sys.remove path;
+  let l = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind l (Unix.ADDR_UNIX path);
+  Unix.listen l 8;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close l with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let addr = Protocol.Unix_path path in
+  let c = Client.connect ~timeout_ms:150 addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (match Client.request c Protocol.Metrics with
+  | exception Client.Protocol_failure (Protocol.Timeout _) -> ()
+  | exception e -> Alcotest.failf "expected Timeout, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Timeout, got a response");
+  let waited = Unix.gettimeofday () -. t0 in
+  check "timed out near the deadline" true (waited >= 0.1 && waited < 5.0)
+
+let test_connection_cap () =
+  let config =
+    { (Server.default_config ()) with Server.workers = 1; max_connections = 1 }
+  in
+  with_daemon ~config (fun addr ->
+      (* with_daemon's ready probe briefly held the only slot; retry
+         until its handler thread has released it and we are admitted *)
+      let rec admit () =
+        let c = Client.connect addr in
+        match Client.request c Protocol.List_jobs with
+        | Protocol.Jobs _ -> c
+        | Protocol.Error Protocol.Server_busy ->
+            Client.close c;
+            Thread.delay 0.01;
+            admit ()
+        | _ ->
+            Client.close c;
+            Alcotest.fail "c1 should be admitted or busy"
+      in
+      let c1 = admit () in
+      Fun.protect ~finally:(fun () -> Client.close c1) @@ fun () ->
+      (* the second concurrent connection is answered server_busy *)
+      let c2 = Client.connect addr in
+      (match Client.request c2 Protocol.Metrics with
+      | Protocol.Error Protocol.Server_busy -> ()
+      | other ->
+          Alcotest.failf "expected server_busy: %s"
+            (Json.to_string (Protocol.response_to_json other)));
+      Client.close c2;
+      (* the rejection is visible in the daemon's metrics once the slot
+         frees up *)
+      Client.close c1;
+      let freed =
+        wait_until (fun () ->
+            match Client.rpc addr Protocol.Metrics with
+            | Protocol.Metrics_data m ->
+                let m = Json.parse (Json.to_string m) in
+                Option.bind (Json.member "connections_rejected" m)
+                  Json.to_int_opt
+                >= Some 1
+            | _ -> false)
+      in
+      check "slot freed and rejection counted" true freed)
+
 let test_job_listing_and_unknown_job () =
   with_daemon (fun addr ->
       (match Client.rpc addr (Protocol.Job_status 42) with
@@ -680,6 +1061,9 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "versioning" `Quick test_protocol_versioning;
+          batch_request_roundtrip;
+          fetch_batch_roundtrip;
+          Alcotest.test_case "batch limits" `Quick test_batch_limits;
           Alcotest.test_case "framing round-trip" `Quick test_framing_roundtrip;
           Alcotest.test_case "framing errors" `Quick test_framing_errors;
           Alcotest.test_case "framing over fds" `Quick test_framing_fd;
@@ -688,6 +1072,8 @@ let () =
         [
           Alcotest.test_case "keying" `Quick test_store_dedup_key;
           Alcotest.test_case "lru eviction" `Quick test_store_lru;
+          Alcotest.test_case "sharding" `Quick test_store_sharding;
+          Alcotest.test_case "domain hammer" `Quick test_store_hammer;
         ] );
       ( "scheduler",
         [
@@ -701,6 +1087,9 @@ let () =
         [
           Alcotest.test_case "empty daemon" `Quick
             test_job_listing_and_unknown_job;
+          Alcotest.test_case "batch end-to-end" `Quick test_batch_end_to_end;
+          Alcotest.test_case "client receive timeout" `Quick test_client_timeout;
+          Alcotest.test_case "connection cap" `Quick test_connection_cap;
           Alcotest.test_case "end-to-end vs direct flow" `Slow test_end_to_end;
           Alcotest.test_case "explain and per-job trace" `Slow
             test_explain_and_trace;
