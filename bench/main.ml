@@ -13,7 +13,14 @@
       toolchain micro-benchmarks).
 
     Usage: [main.exe] runs everything; [main.exe fig5|table1|fig6|table2|
-    ablation|micro] runs one part. *)
+    ablation|micro] runs one part.
+
+    Perf-history plumbing (see [scripts/perf_gate.sh]):
+    [main.exe history-append [--quick]] appends the current
+    [BENCH_psaflow.json] numbers as one commit-keyed datapoint to
+    [BENCH_history.jsonl]; [main.exe gate-history [--quick]] gates
+    them against the rolling median of the recent comparable
+    history (exit 1 on regression). *)
 
 (* ------------------------------------------------------------------ *)
 (* Data collection: one uninformed flow per benchmark                  *)
@@ -515,6 +522,17 @@ let () =
       Svc_load.run
         ~quick:(Array.exists (fun a -> a = "--quick") Sys.argv)
         ()
+  | "history-append" ->
+      let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+      let d = Report_file.history_append ~quick () in
+      Printf.printf "history: appended %d metrics at commit %s (%s) to %s\n"
+        (List.length d.Flow_service.Perf_history.metrics)
+        d.Flow_service.Perf_history.commit
+        (if quick then "quick" else "full")
+        Report_file.history_path
+  | "gate-history" ->
+      let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+      if not (Report_file.history_gate ~quick ()) then exit 1
   | _ ->
       print_fig5 ();
       print_table1 ();

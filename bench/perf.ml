@@ -472,7 +472,7 @@ int main() {
         (* the engine registry as reset before the flow legs:
            [interp_runs] is the cold flow's interpreter execution count
            (the warm legs add cache hits only) *)
-        ("engine", Flow_service.Metrics.to_json Flow_obs.Metrics.global);
+        ("engine", Flow_obs.Metrics.to_json Flow_obs.Metrics.global);
       ]
   in
   (* merge, don't overwrite: [bench svc-load] owns the "service" section

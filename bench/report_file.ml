@@ -32,3 +32,127 @@ let update ~path (sections : (string * Json.t) list) =
   let oc = open_out path in
   output_string oc (Json.to_string_pretty (Json.Obj merged));
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Perf history (BENCH_history.jsonl)                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Perf_history = Flow_service.Perf_history
+
+let history_path = "BENCH_history.jsonl"
+
+(** The commit this measurement belongs to: [PSAFLOW_COMMIT] when set
+    (CI can pin it), else [git rev-parse --short HEAD], else
+    "unknown" — benches must not fail because git is absent. *)
+let commit_id () =
+  match Sys.getenv_opt "PSAFLOW_COMMIT" with
+  | Some c when c <> "" -> c
+  | _ -> (
+      match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+      | ic ->
+          let line = try input_line ic with End_of_file -> "" in
+          let status = Unix.close_process_in ic in
+          if status = Unix.WEXITED 0 && line <> "" then String.trim line
+          else "unknown"
+      | exception Unix.Unix_error _ -> "unknown")
+
+(** The gate-relevant scalars of [BENCH_psaflow.json], flattened to
+    dotted names.  Fields a given bench run did not (re)write are
+    simply absent from the datapoint — the gate skips them. *)
+let gated_paths =
+  [
+    [ "interp"; "threaded"; "mcycles_per_s" ];
+    [ "interp"; "bytecode"; "mcycles_per_s" ];
+    [ "parallel"; "virtual_mcycles" ];
+    [ "service"; "throughput_rps" ];
+    [ "service"; "p50_ms" ];
+    [ "service"; "p99_ms" ];
+    [ "service"; "wall_s" ];
+  ]
+
+let extract_metrics (sections : (string * Json.t) list) : (string * float) list
+    =
+  List.filter_map
+    (fun path ->
+      let rec go j = function
+        | [] -> Json.to_float_opt j
+        | name :: rest -> Option.bind (Json.member name j) (fun j -> go j rest)
+      in
+      match path with
+      | root :: rest ->
+          Option.bind (List.assoc_opt root sections) (fun j -> go j rest)
+          |> Option.map (fun v -> (String.concat "." path, v))
+      | [] -> None)
+    gated_paths
+
+(** Append the current [BENCH_psaflow.json] numbers to the history as
+    one commit-keyed datapoint.  Returns the datapoint written. *)
+let history_append ~quick () : Perf_history.datapoint =
+  let d =
+    {
+      Perf_history.commit = commit_id ();
+      time = Unix.gettimeofday ();
+      quick;
+      metrics = extract_metrics (read_sections "BENCH_psaflow.json");
+    }
+  in
+  Perf_history.append ~path:history_path d;
+  d
+
+(* Gate policy.  Thresholds are deliberately loose — CI containers are
+   noisy and 1-core-vs-8-core hosts measure very different absolute
+   numbers; the gate exists to catch order-of-magnitude regressions,
+   not 5% drift (the trend table is for reading drift). *)
+let gate_specs =
+  [
+    ("interp.threaded.mcycles_per_s", Perf_history.Higher_better, 0.7);
+    ("interp.bytecode.mcycles_per_s", Perf_history.Higher_better, 0.7);
+    ("service.throughput_rps", Perf_history.Higher_better, 0.5);
+    ("service.p99_ms", Perf_history.Lower_better, 4.0);
+  ]
+
+(** Gate the current [BENCH_psaflow.json] against the rolling median of
+    the history.  Prints one verdict line per gated metric; returns
+    [false] if any metric failed (or is missing from the fresh bench
+    file — a measurement that vanished is a harness bug, not noise). *)
+let history_gate ~quick () : bool =
+  let current = extract_metrics (read_sections "BENCH_psaflow.json") in
+  let history = Perf_history.load ~path:history_path in
+  let exclude_commit = commit_id () in
+  let verdicts =
+    List.map
+      (fun (metric, direction, factor) ->
+      match List.assoc_opt metric current with
+      | None ->
+          Printf.printf "GATE FAIL: %s missing from BENCH_psaflow.json\n" metric;
+          false
+      | Some value -> (
+          match
+            Perf_history.gate ~exclude_commit ~history ~quick ~metric ~direction
+              ~factor value
+          with
+          | Perf_history.Pass { value; median; used } ->
+              Printf.printf
+                "gate: %-32s %10.3f vs median %10.3f of last %d (%s %gx) ok\n"
+                metric value median used
+                (match direction with
+                | Perf_history.Higher_better -> ">="
+                | Perf_history.Lower_better -> "<=")
+                factor;
+              true
+          | Perf_history.Fail { value; median; used } ->
+              Printf.printf
+                "GATE FAIL: %s %.3f vs rolling median %.3f of last %d (%s \
+                 %gx required)\n"
+                metric value median used
+                (match direction with
+                | Perf_history.Higher_better -> ">="
+                | Perf_history.Lower_better -> "<=")
+                factor;
+              false
+          | Perf_history.Skip notice ->
+              Printf.printf "gate: %s: skipped — %s\n" metric notice;
+              true))
+      gate_specs
+  in
+  List.for_all Fun.id verdicts

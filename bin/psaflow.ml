@@ -18,6 +18,8 @@
     - [status [JOB_ID]]: one job's state, or the full job list;
     - [fetch JOB_ID]: print a finished job's report;
     - [svc-metrics]: the daemon's metrics as JSON;
+    - [svc-trace [--slow] [--json]]: the daemon's retained request
+      traces (deterministic sample, or slow exemplars);
     - [svc-shutdown]: drain and stop the daemon. *)
 
 open Cmdliner
@@ -306,13 +308,27 @@ let report_cmd =
              stale (perf fields degraded to null).  Without it, degraded \
              fields only warn on stderr.")
   in
-  let run json strict = protect @@ fun () -> Report_cmd.run ~strict ~json () in
+  let trend =
+    Arg.(
+      value & flag
+      & info [ "trend" ]
+          ~doc:
+            "Print the performance-history trend tables from \
+             $(b,BENCH_history.jsonl) (latest value per metric vs the rolling \
+             median of prior runs) instead of re-measuring the evaluation \
+             data.  No flows are executed.")
+  in
+  let run json strict trend =
+    protect @@ fun () ->
+    if trend then Report_cmd.run_trend ~strict ~json ()
+    else Report_cmd.run ~strict ~json ()
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Measure and print the Fig. 5 / Table I / Fig. 6 evaluation data \
-          (all five benchmarks).")
-    Term.(const run $ json $ strict)
+          (all five benchmarks), or the perf-history trend with $(b,--trend).")
+    Term.(const run $ json $ strict $ trend)
 
 (* ------------------------------------------------------------------ *)
 (* Service commands                                                    *)
@@ -576,6 +592,57 @@ let svc_metrics_cmd =
     (Cmd.info "svc-metrics" ~doc:"Print the daemon's metrics as JSON.")
     Term.(const run $ socket_arg)
 
+let svc_trace_cmd =
+  let slow =
+    Arg.(
+      value & flag
+      & info [ "slow" ]
+          ~doc:
+            "Show the slow-request exemplar ring (executions at or over \
+             $(b,PSAFLOW_SLOW_MS)) instead of the sampled ring.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the full retained records — including each request's \
+             Chrome-format span trace — as JSON.")
+  in
+  let run socket slow json_out =
+    protect @@ fun () ->
+    let t = Client.traces ~slow (addr_of socket) in
+    if json_out then print_endline (Json.to_string_pretty t)
+    else
+      match t with
+      | Json.List [] ->
+          Format.printf "no retained %s traces@."
+            (if slow then "slow" else "sampled")
+      | Json.List records ->
+          let field to_v default k r =
+            Option.value ~default (Option.bind (Json.member k r) to_v)
+          in
+          let str = field Json.to_string_opt "?" in
+          let int = field Json.to_int_opt 0 in
+          let num = field Json.to_float_opt 0.0 in
+          List.iter
+            (fun r ->
+              Format.printf "%-20s job #%-4d %-10s seq %-4d %8.1f ms %4d spans%s@."
+                (str "request_id" r) (int "job_id" r) (str "label" r)
+                (int "seq" r) (num "wall_ms" r) (int "spans" r)
+                (match Json.member "slow" r with
+                | Some (Json.Bool true) -> "  [slow]"
+                | _ -> ""))
+            records
+      | _ -> die "unexpected svc_trace payload"
+  in
+  Cmd.v
+    (Cmd.info "svc-trace"
+       ~doc:
+         "Print the daemon's retained request traces (sampled ring, or slow \
+          exemplars with $(b,--slow)).")
+    Term.(const run $ socket_arg $ slow $ json)
+
 let svc_shutdown_cmd =
   let run socket =
     protect @@ fun () ->
@@ -611,5 +678,6 @@ let () =
             status_cmd;
             fetch_cmd;
             svc_metrics_cmd;
+            svc_trace_cmd;
             svc_shutdown_cmd;
           ]))

@@ -334,6 +334,132 @@ let json_of_data data : Json.t * string list =
       ],
     warnings )
 
+(* ------------------------------------------------------------------ *)
+(* Perf trend (BENCH_history.jsonl)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Perf_history = Flow_service.Perf_history
+
+let history_path = "BENCH_history.jsonl"
+
+(* One trend row: the metric's full value series at one scale, its
+   latest point, and the delta against the rolling median of the K
+   entries before it. *)
+type trend_row = {
+  metric : string;
+  points : int;
+  baseline : float option;  (** median of up to K entries before latest *)
+  latest : float;
+  latest_commit : string;
+  delta_pct : float option;
+}
+
+let trend_rows (history : Perf_history.datapoint list) ~quick ~k :
+    trend_row list =
+  let at_scale =
+    List.filter (fun (d : Perf_history.datapoint) -> d.quick = quick) history
+  in
+  let metrics =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (d : Perf_history.datapoint) -> List.map fst d.metrics)
+         at_scale)
+  in
+  List.filter_map
+    (fun metric ->
+      let series =
+        List.filter_map
+          (fun (d : Perf_history.datapoint) ->
+            Option.map
+              (fun v -> (d.commit, v))
+              (List.assoc_opt metric d.metrics))
+          at_scale
+      in
+      match List.rev series with
+      | [] -> None
+      | (latest_commit, latest) :: earlier ->
+          let window =
+            List.filteri (fun i _ -> i < k) earlier |> List.map snd
+          in
+          let baseline = Perf_history.median window in
+          let delta_pct =
+            Option.bind baseline (fun m ->
+                if m = 0.0 then None else Some (100.0 *. ((latest -. m) /. m)))
+          in
+          Some
+            {
+              metric;
+              points = List.length series;
+              baseline;
+              latest;
+              latest_commit;
+              delta_pct;
+            })
+    metrics
+
+let print_trend_table ~label ~k rows =
+  Printf.printf "== perf trend: %s runs (median of up to %d prior entries) ==\n"
+    label k;
+  if rows = [] then print_endline "  (no history at this scale)"
+  else begin
+    Printf.printf "%-34s %4s %12s %12s %9s  %s\n" "metric" "n" "median"
+      "latest" "delta" "commit";
+    List.iter
+      (fun r ->
+        Printf.printf "%-34s %4d %12s %12.3f %9s  %s\n" r.metric r.points
+          (match r.baseline with
+          | Some m -> Printf.sprintf "%.3f" m
+          | None -> "n/a")
+          r.latest
+          (match r.delta_pct with
+          | Some d -> Printf.sprintf "%+.1f%%" d
+          | None -> "n/a")
+          r.latest_commit)
+      rows
+  end
+
+let trend_json ~k history : Json.t =
+  let scale quick =
+    Json.List
+      (List.map
+         (fun r ->
+           Json.Obj
+             [
+               ("metric", Json.String r.metric);
+               ("points", Json.Int r.points);
+               ("median", opt_float r.baseline);
+               ("latest", Json.Float r.latest);
+               ("latest_commit", Json.String r.latest_commit);
+               ("delta_pct", opt_float r.delta_pct);
+             ])
+         (trend_rows history ~quick ~k))
+  in
+  Json.Obj
+    [
+      ("source", Json.String history_path);
+      ("k", Json.Int k);
+      ("quick", scale true);
+      ("full", scale false);
+    ]
+
+(** [psaflow report --trend]: the perf-history trend tables.  Reads
+    only [BENCH_history.jsonl] — no flows are executed. *)
+let run_trend ?(strict = false) ~json () =
+  let history = Perf_history.load ~path:history_path in
+  let k = Perf_history.default_k () in
+  if history = [] then begin
+    prerr_endline
+      ("psaflow report: no perf history at " ^ history_path
+     ^ " (run scripts/perf_gate.sh, or `bench/main.exe history-append`)");
+    if strict then exit 1
+  end;
+  if json then print_string (Json.to_string_pretty (trend_json ~k history))
+  else begin
+    print_trend_table ~label:"full" ~k (trend_rows history ~quick:false ~k);
+    print_endline "";
+    print_trend_table ~label:"quick" ~k (trend_rows history ~quick:true ~k)
+  end
+
 let run ?(strict = false) ~json () =
   let data = collect () in
   if json then begin

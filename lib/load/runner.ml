@@ -5,8 +5,12 @@
     I/O-bound; the daemon's worker {e domains} do the computing).  Every
     operation's latency is recorded in full — submit to final result for
     hot/cold jobs, submit to typed rejection for poison, frame
-    round-trip plus drain for storms — and percentiles are computed over
-    the complete latency array, not a sliding window.
+    round-trip plus drain for storms — into a per-thread
+    {!Flow_obs.Metrics.Hist} log-bucketed sketch; the sketches are
+    merged at the end, so percentiles are constant-memory regardless of
+    run length and come from the same histogram type the daemon serves
+    in [svc-metrics].  Every submission carries a client-minted request
+    id (protocol v3), so load traffic is traceable via [svc-trace].
 
     Correctness is checked on a deterministic sample: every
     [sample_every]-th successful result is compared byte-for-byte
@@ -18,6 +22,7 @@ module Protocol = Flow_service.Protocol
 module Client = Flow_service.Client
 module Flow_exec = Flow_service.Flow_exec
 module Json = Flow_service.Json
+module Hist = Flow_obs.Metrics.Hist
 
 type config = {
   addr : Protocol.addr;
@@ -61,7 +66,7 @@ type shared = {
   ops_arr : Workload.op array;
   next : int Atomic.t;
   lock : Mutex.t;
-  latencies : float list ref;  (** seconds, all threads *)
+  lat_hist : Hist.t;  (** seconds; thread-local sketches merge in here *)
   totals : counters;
   samples : (string, Protocol.submission * Protocol.job_result) Hashtbl.t;
       (** keyed by source text: first sampled result per distinct job *)
@@ -93,8 +98,8 @@ let rec await_result c job_id =
   | _ -> None
 
 let run_single sh c (t : counters) (op : Workload.op) sub =
-  match Client.request c (Protocol.Submit_flow sub) with
-  | Protocol.Submitted { job_id; disposition } -> (
+  match snd (Client.submit c sub) with
+  | Ok (job_id, disposition) -> (
       (match disposition with
       | `Fresh -> t.fresh <- t.fresh + 1
       | `Coalesced -> t.coalesced <- t.coalesced + 1
@@ -102,11 +107,10 @@ let run_single sh c (t : counters) (op : Workload.op) sub =
       match await_result c job_id with
       | Some r -> record_sample sh op.Workload.index sub r
       | None -> t.other_errors <- t.other_errors + 1)
-  | Protocol.Error (Protocol.Minic_parse_error _ | Protocol.Minic_type_error _)
-    ->
+  | Error (Protocol.Minic_parse_error _ | Protocol.Minic_type_error _) ->
       t.poison_rejected <- t.poison_rejected + 1
-  | Protocol.Error Protocol.Queue_full -> t.queue_full <- t.queue_full + 1
-  | _ -> t.other_errors <- t.other_errors + 1
+  | Error Protocol.Queue_full -> t.queue_full <- t.queue_full + 1
+  | Error _ -> t.other_errors <- t.other_errors + 1
 
 (* A storm: one submit_batch frame, then drain our accepted jobs with
    fetch_batch polls so the burst's execution cost stays inside the
@@ -168,7 +172,7 @@ let worker sh addr () =
       other_errors = 0;
     }
   in
-  let mine = ref [] in
+  let mine = Hist.create () in
   let n = Array.length sh.ops_arr in
   let rec loop () =
     let i = Atomic.fetch_and_add sh.next 1 in
@@ -182,14 +186,14 @@ let worker sh addr () =
        with
       | Client.Protocol_failure _ | Client.Client_error _ ->
           t.other_errors <- t.other_errors + 1);
-      mine := (Unix.gettimeofday () -. t0) :: !mine;
+      Hist.observe mine (Unix.gettimeofday () -. t0);
       loop ()
     end
   in
   loop ();
   Client.close c;
   Mutex.lock sh.lock;
-  sh.latencies := List.rev_append !mine !(sh.latencies);
+  Hist.merge ~into:sh.lat_hist mine;
   sh.totals.fresh <- sh.totals.fresh + t.fresh;
   sh.totals.coalesced <- sh.totals.coalesced + t.coalesced;
   sh.totals.cached <- sh.totals.cached + t.cached;
@@ -197,11 +201,6 @@ let worker sh addr () =
   sh.totals.queue_full <- sh.totals.queue_full + t.queue_full;
   sh.totals.other_errors <- sh.totals.other_errors + t.other_errors;
   Mutex.unlock sh.lock
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
 
 (* MiniC statement ids are allocated from a process-global [Atomic]
    counter, so the "hotspot: loop #N in main" log line is the one place
@@ -251,7 +250,7 @@ let verify_samples samples =
       match Flow_exec.resolve sub with
       | Error _ -> (n + 1, false)
       | Ok { run; _ } ->
-          let direct = run () in
+          let direct = run ~request_id:None () in
           let report_ok =
             String.equal direct.Protocol.report fetched.Protocol.report
           in
@@ -279,7 +278,7 @@ let run (cfg : config) : outcome =
       ops_arr;
       next = Atomic.make 0;
       lock = Mutex.create ();
-      latencies = ref [];
+      lat_hist = Hist.create ();
       totals =
         {
           fresh = 0;
@@ -300,19 +299,19 @@ let run (cfg : config) : outcome =
   in
   List.iter Thread.join threads;
   let wall_s = Unix.gettimeofday () -. t0 in
-  let lat = Array.of_list !(sh.latencies) in
-  Array.sort compare lat;
+  let lat = sh.lat_hist in
   let requests = Workload.submission_count ops_arr in
   let identity_checked, identity_ok = verify_samples sh.samples in
+  let summary = Hist.summary lat in
   {
     wall_s;
     ops = Array.length ops_arr;
     requests;
     throughput_rps = float_of_int requests /. wall_s;
-    p50_ms = 1000.0 *. percentile lat 0.50;
-    p90_ms = 1000.0 *. percentile lat 0.90;
-    p99_ms = 1000.0 *. percentile lat 0.99;
-    max_ms = (if Array.length lat = 0 then 0.0 else 1000.0 *. lat.(Array.length lat - 1));
+    p50_ms = 1000.0 *. Hist.percentile lat 50.0;
+    p90_ms = 1000.0 *. Hist.percentile lat 90.0;
+    p99_ms = 1000.0 *. Hist.percentile lat 99.0;
+    max_ms = 1000.0 *. summary.Flow_obs.Metrics.s_max;
     fresh = sh.totals.fresh;
     coalesced = sh.totals.coalesced;
     cached = sh.totals.cached;

@@ -8,37 +8,166 @@
     isolated registry (the daemon's per-server request counters, tests)
     use {!create}.
 
-    Histograms keep full-precision summary statistics (count/sum/min/
-    max) plus a bounded ring of recent observations from which
-    percentiles are computed (nearest-rank over the retained window).
-    Percentile queries are total: empty and single-sample histograms
-    answer without raising and never produce NaN, and NaN observations
-    are dropped at the door rather than poisoning the summary.  All
-    operations are mutex-guarded; recording is cheap enough for
-    per-request and per-candidate use. *)
+    Histograms are streaming log-bucketed sketches ({!Hist}): constant
+    memory regardless of observation count, exact count/sum/min/max,
+    percentiles answered from geometric bucket midpoints with bounded
+    relative error, and lossless merging of independently collected
+    histograms (load-generator threads, scheduler domains, store
+    shards).  Percentile queries are total: empty and single-sample
+    histograms answer without raising and never produce NaN, and NaN
+    observations are dropped at the door rather than poisoning the
+    summary.  All registry operations are mutex-guarded; recording is
+    cheap enough for per-request and per-candidate use. *)
 
-type histogram = {
-  mutable count : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
-  window : float array;  (** ring buffer of recent observations *)
-  mutable filled : int;  (** number of valid cells in [window] *)
-  mutable next : int;  (** ring write cursor *)
+(** Read-only histogram summary.  An empty histogram is all zeros (not
+    infinities), so any serialization of it stays finite. *)
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
 }
+
+let empty_summary =
+  {
+    s_count = 0;
+    s_sum = 0.0;
+    s_mean = 0.0;
+    s_min = 0.0;
+    s_max = 0.0;
+    s_p50 = 0.0;
+    s_p90 = 0.0;
+    s_p99 = 0.0;
+  }
+
+(** Streaming log-bucketed histogram.
+
+    Values are binned by [floor (log_gamma (v / vmin))] with
+    [gamma = 1.08], so every bucket spans an 8% relative range and a
+    percentile answered from a bucket's geometric midpoint is within a
+    factor [sqrt gamma] (~4%) of every sample in that bucket.  The
+    fixed bucket array covers [vmin, vmin * gamma^n_buckets) —
+    about [1e-9, 2.5e12) — which comfortably spans nanoseconds to
+    half-hours when observing seconds, or sub-microsecond to a month
+    when observing milliseconds.  Values at or below [vmin] (including
+    zero and negatives) land in a dedicated underflow bucket
+    represented by the exact minimum; values beyond the top land in the
+    last bucket, clamped to the exact maximum.
+
+    A histogram is a plain unsynchronised value: each thread observes
+    into its own and the results {!merge} losslessly, or a shared one
+    lives behind a registry's mutex. *)
+module Hist = struct
+  let gamma = 1.08
+  let vmin = 1e-9
+  let n_buckets = 640
+  let log_gamma = log gamma
+
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    mutable underflow : int;  (** observations <= vmin (incl. <= 0) *)
+    buckets : int array;
+  }
+
+  let create () =
+    {
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+      underflow = 0;
+      buckets = Array.make n_buckets 0;
+    }
+
+  let bucket_of v =
+    let i = int_of_float (floor (log (v /. vmin) /. log_gamma)) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+  let observe h v =
+    (* a NaN observation would defeat min/max/percentiles for good *)
+    if not (Float.is_nan v) then begin
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      if v <= vmin then h.underflow <- h.underflow + 1
+      else h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1
+    end
+
+  (** Fold [src] into [into].  Exact: the merged histogram is
+      indistinguishable from one that observed both input streams. *)
+  let merge ~into src =
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v;
+    into.underflow <- into.underflow + src.underflow;
+    for i = 0 to n_buckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done
+
+  (* Nearest-rank percentile: walk the cumulative counts to the bucket
+     holding the rank-th observation and answer its geometric midpoint,
+     clamped into [min_v, max_v] so the sketch never reports a value
+     outside the observed range.  Total: an empty histogram answers
+     0. *)
+  let percentile h p =
+    if h.count = 0 then 0.0
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.count)) in
+        if r < 1 then 1 else if r > h.count then h.count else r
+      in
+      if rank <= h.underflow then h.min_v
+      else begin
+        let seen = ref h.underflow in
+        let idx = ref (n_buckets - 1) in
+        (try
+           for i = 0 to n_buckets - 1 do
+             seen := !seen + h.buckets.(i);
+             if !seen >= rank then begin
+               idx := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let mid = vmin *. (gamma ** (float_of_int !idx +. 0.5)) in
+        Float.max h.min_v (Float.min h.max_v mid)
+      end
+    end
+
+  let summary h =
+    if h.count = 0 then empty_summary
+    else
+      {
+        s_count = h.count;
+        s_sum = h.sum;
+        s_mean = h.sum /. float_of_int h.count;
+        s_min = h.min_v;
+        s_max = h.max_v;
+        s_p50 = percentile h 50.0;
+        s_p90 = percentile h 90.0;
+        s_p99 = percentile h 99.0;
+      }
+end
 
 type metric =
   | MCounter of int ref
   | MGauge of float ref
-  | MHistogram of histogram
+  | MHistogram of Hist.t
 
 type t = {
   lock : Mutex.t;
   table : (string, metric) Hashtbl.t;
   mutable order : string list;  (** registration order, reversed *)
 }
-
-let window_size = 1024
 
 let create () = { lock = Mutex.create (); table = Hashtbl.create 32; order = [] }
 
@@ -71,31 +200,22 @@ let set_gauge t name v =
       | _ -> invalid_arg (name ^ " is not a gauge"))
 
 let observe t name v =
-  (* a NaN observation would defeat min/max/percentiles for good *)
+  (* a lone NaN must not even register the histogram: dropping it at
+     the door keeps [histogram_summary] None until a real value lands *)
   if not (Float.is_nan v) then
     with_lock t (fun () ->
-        match
-          get_or_register t name (fun () ->
-              MHistogram
-                {
-                  count = 0;
-                  sum = 0.0;
-                  min_v = infinity;
-                  max_v = neg_infinity;
-                  window = Array.make window_size 0.0;
-                  filled = 0;
-                  next = 0;
-                })
-        with
-        | MHistogram h ->
-            h.count <- h.count + 1;
-            h.sum <- h.sum +. v;
-            if v < h.min_v then h.min_v <- v;
-            if v > h.max_v then h.max_v <- v;
-            h.window.(h.next) <- v;
-            h.next <- (h.next + 1) mod window_size;
-            if h.filled < window_size then h.filled <- h.filled + 1
+        match get_or_register t name (fun () -> MHistogram (Hist.create ())) with
+        | MHistogram h -> Hist.observe h v
         | _ -> invalid_arg (name ^ " is not a histogram"))
+
+(** Fold an independently collected histogram into the registry's
+    histogram [name] (scheduler domains and store shards merge their
+    local sketches through this). *)
+let observe_hist t name src =
+  with_lock t (fun () ->
+      match get_or_register t name (fun () -> MHistogram (Hist.create ())) with
+      | MHistogram h -> Hist.merge ~into:h src
+      | _ -> invalid_arg (name ^ " is not a histogram"))
 
 let counter_value t name =
   with_lock t (fun () ->
@@ -109,62 +229,11 @@ let gauge_value t name =
       | Some (MGauge r) -> !r
       | _ -> 0.0)
 
-(* Nearest-rank percentile over the retained window.  Total: an empty
-   window answers 0. *)
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-
-(** Read-only histogram summary.  An empty histogram is all zeros (not
-    infinities), so any serialization of it stays finite. *)
-type summary = {
-  s_count : int;
-  s_sum : float;
-  s_mean : float;
-  s_min : float;
-  s_max : float;
-  s_p50 : float;
-  s_p90 : float;
-  s_p99 : float;
-}
-
-let empty_summary =
-  {
-    s_count = 0;
-    s_sum = 0.0;
-    s_mean = 0.0;
-    s_min = 0.0;
-    s_max = 0.0;
-    s_p50 = 0.0;
-    s_p90 = 0.0;
-    s_p99 = 0.0;
-  }
-
-let summary_of_histogram_locked (h : histogram) =
-  if h.count = 0 then empty_summary
-  else begin
-    let sorted = Array.sub h.window 0 h.filled in
-    Array.sort compare sorted;
-    {
-      s_count = h.count;
-      s_sum = h.sum;
-      s_mean = h.sum /. float_of_int h.count;
-      s_min = h.min_v;
-      s_max = h.max_v;
-      s_p50 = percentile sorted 50.0;
-      s_p90 = percentile sorted 90.0;
-      s_p99 = percentile sorted 99.0;
-    }
-  end
-
 (** Summary of a histogram; [None] when no such histogram exists. *)
 let histogram_summary t name =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table name with
-      | Some (MHistogram h) -> Some (summary_of_histogram_locked h)
+      | Some (MHistogram h) -> Some (Hist.summary h)
       | _ -> None)
 
 (** One registered metric's current value. *)
@@ -179,7 +248,7 @@ let snapshot t : (string * snap) list =
             match Hashtbl.find t.table name with
             | MCounter r -> Counter !r
             | MGauge r -> Gauge !r
-            | MHistogram h -> Histogram (summary_of_histogram_locked h)
+            | MHistogram h -> Histogram (Hist.summary h)
           in
           (name, v))
         t.order)
@@ -190,3 +259,37 @@ let reset t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;
       t.order <- [])
+
+let summary_json (s : summary) : Json.t =
+  let open Json in
+  if s.s_count = 0 then Obj [ ("count", Int 0) ]
+  else
+    Obj
+      [
+        ("count", Int s.s_count);
+        ("sum", Float s.s_sum);
+        ("mean", Float s.s_mean);
+        ("min", Float s.s_min);
+        ("max", Float s.s_max);
+        ("p50", Float s.s_p50);
+        ("p90", Float s.s_p90);
+        ("p99", Float s.s_p99);
+      ]
+
+(** One object with a field per metric, in registration order.  Extra
+    [(name, value)] pairs can be appended by the caller (the server adds
+    store/scheduler snapshots this registry does not own). *)
+let to_json ?(extra = []) t : Json.t =
+  let fields =
+    List.map
+      (fun (name, snap) ->
+        let v =
+          match snap with
+          | Counter n -> Json.Int n
+          | Gauge g -> Json.Float g
+          | Histogram s -> summary_json s
+        in
+        (name, v))
+      (snapshot t)
+  in
+  Json.Obj (fields @ extra)

@@ -87,10 +87,52 @@ let request (c : conn) (req : Protocol.request) : Protocol.response =
 (** One-shot exchange on a fresh connection. *)
 let rpc ?timeout_ms addr req = with_conn ?timeout_ms addr (fun c -> request c req)
 
-(** Submit a whole batch in one frame (protocol v2).  Per-item results
+(* ------------------------------------------------------------------ *)
+(* Request ids (protocol v3)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* "c-<pid hex><start-millis hex>-<n>": unique across this process and
+   overwhelmingly unlikely to collide across concurrent clients of one
+   daemon; no randomness, so a replayed workload mints a reproducible
+   sequence. *)
+let mint_seq = Atomic.make 0
+
+let mint_prefix =
+  lazy
+    (Printf.sprintf "c-%04x%04x"
+       (Unix.getpid () land 0xffff)
+       (int_of_float (Unix.gettimeofday () *. 1000.0) land 0xffff))
+
+(** A fresh client-minted request id. *)
+let mint_request_id () =
+  Printf.sprintf "%s-%d" (Lazy.force mint_prefix)
+    (Atomic.fetch_and_add mint_seq 1)
+
+(* A submission with a request id: the caller's own if present, else a
+   freshly minted one. *)
+let with_request_id (s : Protocol.submission) =
+  match s.request_id with
+  | Some _ -> s
+  | None -> { s with request_id = Some (mint_request_id ()) }
+
+(** Submit one job on an open connection, minting a request id when the
+    submission carries none.  Returns the id actually sent (it names
+    the job's trace in [svc-trace]) alongside the typed outcome. *)
+let submit (c : conn) (s : Protocol.submission) :
+    string * (int * Protocol.disposition, Protocol.error_kind) result =
+  let s = with_request_id s in
+  let rid = Option.get s.request_id in
+  match request c (Protocol.Submit_flow s) with
+  | Protocol.Submitted { job_id; disposition } -> (rid, Ok (job_id, disposition))
+  | Protocol.Error e -> (rid, Error e)
+  | _ -> fail "unexpected response to submit_flow"
+
+(** Submit a whole batch in one frame (protocol v2; since v3 every item
+    without a request id gets a client-minted one).  Per-item results
     in submission order. *)
 let submit_batch (c : conn) (subs : Protocol.submission list) :
     Protocol.batch_submit_item list =
+  let subs = List.map with_request_id subs in
   match request c (Protocol.Submit_batch subs) with
   | Protocol.Submitted_batch items -> items
   | Protocol.Error e -> raise (Protocol_failure e)
@@ -102,6 +144,14 @@ let fetch_batch (c : conn) (ids : int list) : Protocol.batch_fetch_item list =
   | Protocol.Results_batch items -> items
   | Protocol.Error e -> raise (Protocol_failure e)
   | _ -> fail "unexpected response to fetch_batch"
+
+(** Retained request traces from the daemon (protocol v3): the sampled
+    ring, or the slow-exemplar ring with [~slow:true]. *)
+let traces ?timeout_ms ?(slow = false) addr : Json.t =
+  match rpc ?timeout_ms addr (Protocol.Svc_trace { slow }) with
+  | Protocol.Traces t -> t
+  | Protocol.Error e -> raise (Protocol_failure e)
+  | _ -> fail "unexpected response to svc_trace"
 
 (** Poll [job_id] until it is done (returning its result), failed, or
     [timeout_s] elapses. *)
@@ -130,7 +180,7 @@ let submit_and_wait ?poll_interval_s ?timeout_s addr submission :
     ( int * [ `Fresh | `Coalesced | `Cached ] * Protocol.job_result,
       string )
     result =
-  match rpc addr (Protocol.Submit_flow submission) with
+  match rpc addr (Protocol.Submit_flow (with_request_id submission)) with
   | Protocol.Submitted { job_id; disposition } -> (
       match wait_result ?poll_interval_s ?timeout_s addr job_id with
       | Ok (_, r) -> Ok (job_id, disposition, r)

@@ -10,7 +10,10 @@
 type resolved = {
   key : string;  (** {!Store} content address of the execution *)
   label : string;  (** benchmark id, or ["inline"] *)
-  run : unit -> Protocol.job_result;
+  run : request_id:string option -> unit -> Protocol.job_result;
+      (** executes the flow under a root span carrying [request_id], so
+          a request trace names its originating request end-to-end; the
+          id never enters [key], so identical work still coalesces *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -128,14 +131,26 @@ let resolve (s : Protocol.submission) : (resolved, Protocol.error_kind) result =
         ~strategy:(Protocol.strategy_to_string s.strategy)
         ~x_threshold:s.x_threshold ~budget:s.budget ~workload
     in
-    let plain_run () =
-      let outcome = run_outcome s (mk_ctx ()) in
+    let root_args request_id =
+      match request_id with
+      | Some r -> [ ("request_id", Flow_obs.Attr.String r) ]
+      | None -> []
+    in
+    let plain_run ~request_id () =
+      let outcome =
+        Flow_obs.Trace.with_span ~cat:"service" ("job " ^ label)
+          ~args:(root_args request_id) (fun () -> run_outcome s (mk_ctx ()))
+      in
       {
         Protocol.report = render_report outcome.results;
         data = outcome_json ~label s outcome;
       }
     in
-    let traced_run () =
+    (* The traced path embeds the exported global trace in the job
+       result, whose bytes are identity-checked against direct
+       re-execution — so the request id must NOT appear in its spans
+       (the request-trace record carries the id instead). *)
+    let traced_run ~request_id:_ () =
       Mutex.lock trace_mutex;
       Fun.protect ~finally:(fun () ->
           Flow_obs.Trace.stop ();

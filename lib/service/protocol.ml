@@ -21,8 +21,11 @@
     malformed/mis-versioned requests each have their own tag. *)
 
 (** Current protocol version.  v2 added [submit_batch]/[fetch_batch]
-    and the [server_busy]/[timeout] error tags. *)
-let version = 2
+    and the [server_busy]/[timeout] error tags; v3 added the optional
+    [request_id] submission field (client-minted, threaded through the
+    scheduler into every span of the job's trace) and the [svc_trace]
+    request for retrieving sampled/slow request traces. *)
+let version = 3
 
 (** Oldest version still accepted on decode.  v1 peers can keep
     speaking every single-job request unchanged; only the batch frames
@@ -58,11 +61,15 @@ type submission = {
   x_threshold : float;
   budget : float option;
   trace : bool;  (** capture a Chrome trace of the job's execution *)
+  request_id : string option;
+      (** v3: client-minted id carried through scheduler and flow spans;
+          deliberately excluded from the result-store key so identical
+          work still coalesces and caches across request ids *)
 }
 
 let submission ?(mode = Informed) ?(strategy = Fig3) ?(x_threshold = 2.0)
-    ?budget ?(trace = false) source =
-  { source; mode; strategy; x_threshold; budget; trace }
+    ?budget ?(trace = false) ?request_id source =
+  { source; mode; strategy; x_threshold; budget; trace; request_id }
 
 type request =
   | Submit_flow of submission
@@ -72,6 +79,9 @@ type request =
   | Fetch_batch of int list  (** v2: many fetches, one frame *)
   | List_jobs
   | Metrics
+  | Svc_trace of { slow : bool }
+      (** v3: retrieve retained request traces — the sampled ring, or
+          the slow-exemplar ring with [slow = true] *)
   | Shutdown
 
 type job_state = Queued | Running | Done | Failed of string
@@ -124,6 +134,8 @@ type response =
   | Results_batch of batch_fetch_item list
   | Jobs of job_view list
   | Metrics_data of Json.t
+  | Traces of Json.t
+      (** v3: retained request-trace records, newest first *)
   | Shutting_down
   | Error of error_kind
 
@@ -194,7 +206,8 @@ let submission_fields (s : submission) =
       ("x_threshold", Float s.x_threshold);
     ]
   @ opt_field "budget" (fun b -> Float b) s.budget
-  @ if s.trace then [ ("trace", Bool true) ] else []
+  @ (if s.trace then [ ("trace", Bool true) ] else [])
+  @ opt_field "request_id" (fun r -> String r) s.request_id
 
 let request_to_json = function
   | Submit_flow s ->
@@ -222,6 +235,8 @@ let request_to_json = function
         ]
   | List_jobs -> Obj [ ("v", Int version); ("type", String "list_jobs") ]
   | Metrics -> Obj [ ("v", Int version); ("type", String "metrics") ]
+  | Svc_trace { slow } ->
+      Obj [ ("v", Int version); ("type", String "svc_trace"); ("slow", Bool slow) ]
   | Shutdown -> Obj [ ("v", Int version); ("type", String "shutdown") ]
 
 let job_view_to_json (j : job_view) =
@@ -239,22 +254,27 @@ let job_view_to_json (j : job_view) =
       | _ -> [])
     @ opt_field "wall_s" (fun s -> Float s) j.wall_s)
 
-(* The tag + payload fields of a typed error, shared by top-level error
-   responses and per-item batch errors. *)
+(* The wire tag and extra payload fields of a typed error, shared by
+   top-level error responses and per-item batch errors. *)
+let error_tag_fields e =
+  match e with
+  | Bad_request m -> ("bad_request", [ ("message", String m) ])
+  | Bad_version v -> ("bad_version", [ ("got", Int v) ])
+  | Unknown_benchmark b -> ("unknown_benchmark", [ ("benchmark", String b) ])
+  | Minic_parse_error m -> ("minic_parse_error", [ ("message", String m) ])
+  | Minic_type_error m -> ("minic_type_error", [ ("message", String m) ])
+  | Queue_full -> ("queue_full", [])
+  | Server_busy -> ("server_busy", [])
+  | Timeout m -> ("timeout", [ ("message", String m) ])
+  | Unknown_job id -> ("unknown_job", [ ("job_id", Int id) ])
+  | Server_error m -> ("server_error", [ ("message", String m) ])
+
+(** The stable wire tag of an error kind (also names the per-error-kind
+    latency histograms in [svc-metrics]). *)
+let error_kind_tag e = fst (error_tag_fields e)
+
 let error_fields e =
-  let tag, extra =
-    match e with
-    | Bad_request m -> ("bad_request", [ ("message", String m) ])
-    | Bad_version v -> ("bad_version", [ ("got", Int v) ])
-    | Unknown_benchmark b -> ("unknown_benchmark", [ ("benchmark", String b) ])
-    | Minic_parse_error m -> ("minic_parse_error", [ ("message", String m) ])
-    | Minic_type_error m -> ("minic_type_error", [ ("message", String m) ])
-    | Queue_full -> ("queue_full", [])
-    | Server_busy -> ("server_busy", [])
-    | Timeout m -> ("timeout", [ ("message", String m) ])
-    | Unknown_job id -> ("unknown_job", [ ("job_id", Int id) ])
-    | Server_error m -> ("server_error", [ ("message", String m) ])
-  in
+  let tag, extra = error_tag_fields e in
   ("error", String tag) :: extra
 
 let error_to_json e =
@@ -322,6 +342,8 @@ let response_to_json = function
         ]
   | Metrics_data m ->
       Obj [ ("v", Int version); ("type", String "metrics"); ("metrics", m) ]
+  | Traces t ->
+      Obj [ ("v", Int version); ("type", String "traces"); ("traces", t) ]
   | Shutting_down -> Obj [ ("v", Int version); ("type", String "shutting_down") ]
   | Error e -> error_to_json e
 
@@ -353,7 +375,11 @@ let check_version j =
   let* v = field "v" to_int_opt j in
   if v >= min_version && v <= version then Ok v else Error (Bad_version v)
 
-let submission_of_json j =
+(* [v] is the enclosing frame's declared protocol version; batch items
+   inherit it.  The v3 [request_id] field is refused — not silently
+   dropped — in older-versioned frames, matching the batch-frame
+   discipline. *)
+let submission_of_json ?(v = version) j =
   let* source =
     match (member "bench" j, member "source" j) with
     | Some (String id), None -> Ok (Bench id)
@@ -367,6 +393,12 @@ let submission_of_json j =
   let* x_threshold = opt "x_threshold" to_float_opt j in
   let* budget = opt "budget" to_float_opt j in
   let* trace = opt "trace" to_bool_opt j in
+  let* request_id = opt "request_id" to_string_opt j in
+  let* () =
+    if request_id <> None && v < 3 then
+      Error (Bad_request "\"request_id\" requires protocol version >= 3")
+    else Ok ()
+  in
   Ok
     {
       source;
@@ -375,6 +407,7 @@ let submission_of_json j =
       x_threshold = Option.value x_threshold ~default:2.0;
       budget;
       trace = Option.value trace ~default:false;
+      request_id;
     }
 
 (* A batch list must be present, within [max_batch_jobs], and non-empty
@@ -390,21 +423,26 @@ let batch_items name j =
             (List.length items) max_batch_jobs))
   else Ok items
 
-(* Batch requests appeared in v2; a peer declaring v1 gets a typed
-   refusal naming the version floor instead of a decoded request its
-   declared version cannot contain. *)
-let require_v2 v ty =
-  if v >= 2 then Ok ()
+(* Version-gated message types (batches in v2, trace retrieval in v3):
+   a peer declaring an older version gets a typed refusal naming the
+   version floor instead of a decoded message its declared version
+   cannot contain. *)
+let require_version ~floor v ty =
+  if v >= floor then Ok ()
   else
     Error
-      (Bad_request (Printf.sprintf "%S requires protocol version >= 2" ty))
+      (Bad_request
+         (Printf.sprintf "%S requires protocol version >= %d" ty floor))
+
+let require_v2 v ty = require_version ~floor:2 v ty
+let require_v3 v ty = require_version ~floor:3 v ty
 
 let request_of_json j : (request, error_kind) result =
   let* v = check_version j in
   let* ty = field "type" to_string_opt j in
   match ty with
   | "submit_flow" ->
-      let* s = submission_of_json j in
+      let* s = submission_of_json ~v j in
       Ok (Submit_flow s)
   | "submit_batch" ->
       let* () = require_v2 v ty in
@@ -413,7 +451,7 @@ let request_of_json j : (request, error_kind) result =
         List.fold_left
           (fun acc item ->
             let* acc = acc in
-            let* s = submission_of_json item in
+            let* s = submission_of_json ~v item in
             Ok (s :: acc))
           (Ok []) items
       in
@@ -439,6 +477,10 @@ let request_of_json j : (request, error_kind) result =
       Ok (Fetch_batch (List.rev ids))
   | "list_jobs" -> Ok List_jobs
   | "metrics" -> Ok Metrics
+  | "svc_trace" ->
+      let* () = require_v3 v ty in
+      let* slow = opt "slow" to_bool_opt j in
+      Ok (Svc_trace { slow = Option.value slow ~default:false })
   | "shutdown" -> Ok Shutdown
   | other -> Error (Bad_request (Printf.sprintf "unknown request type %S" other))
 
@@ -582,6 +624,10 @@ let response_of_json j : (response, error_kind) result =
   | "metrics" ->
       let* m = field "metrics" Option.some j in
       Ok (Metrics_data m)
+  | "traces" ->
+      let* () = require_v3 v ty in
+      let* t = field "traces" Option.some j in
+      Ok (Traces t)
   | "shutting_down" -> Ok Shutting_down
   | "error" ->
       let* e = error_of_json j in

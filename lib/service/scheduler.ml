@@ -27,6 +27,8 @@
     mutex-guarded, MiniC statement ids come from an [Atomic] counter,
     the metrics registry locks, and [rand01] state is per-run. *)
 
+module Metrics = Flow_obs.Metrics
+
 type job = {
   id : int;
   key : string;  (** {!Store} content address *)
@@ -34,6 +36,9 @@ type job = {
   mode : Protocol.mode;
   strategy : Protocol.strategy;
   cached : bool;
+  request_id : string;
+      (** the submitting request's id; a coalesced submission keeps the
+          first requester's id (one execution, one trace) *)
   run : unit -> Protocol.job_result;
   mutable state : Protocol.job_state;
   mutable started_at : float option;
@@ -52,6 +57,7 @@ type t = {
   active_by_key : (string, job) Hashtbl.t;  (** queued/running only *)
   store : Protocol.job_result Store.t;
   metrics : Metrics.t;
+  req_log : Req_trace.t;  (** sampled + slow request-trace rings *)
   mutable next_id : int;
   mutable accepting : bool;
   mutable stopping : bool;
@@ -93,10 +99,15 @@ let finish_locked t job outcome =
       Metrics.incr t.metrics "jobs_failed";
       Flow_obs.Log.warnf "scheduler: job #%d (%s) failed: %s" job.id job.label
         msg);
+  (* fresh-disposition latency: queue wait + execution, submit to
+     finish (the cached/coalesced histograms live in [submit]) *)
+  Metrics.observe t.metrics "job_ms_fresh"
+    (1000.0 *. (now () -. job.submitted_at));
   Flow_obs.Trace.instant ~cat:"scheduler" "job.finish"
     ~args:
       [
         ("job_id", Flow_obs.Attr.Int job.id);
+        ("request_id", Flow_obs.Attr.String job.request_id);
         ( "state",
           Flow_obs.Attr.String (Protocol.state_to_string job.state) );
       ];
@@ -125,20 +136,30 @@ let worker_loop t (_worker : int) =
         set_queue_gauge_locked t;
         Mutex.unlock t.lock;
         Flow_obs.Log.debugf "scheduler: job #%d (%s) running" job.id job.label;
-        Flow_obs.Trace.instant ~cat:"scheduler" "job.start"
-          ~args:[ ("job_id", Flow_obs.Attr.Int job.id) ];
-        let outcome =
-          match job.run () with
-          | r -> Ok r
-          | exception e -> Error (Printexc.to_string e)
-        in
-        with_lock t (fun () -> finish_locked t job outcome);
+        (* the whole execution — start instant, flow root span, finish
+           instant — runs inside a request recording; Req_trace retains
+           it when sampled or slow *)
+        Req_trace.record t.req_log ~request_id:job.request_id ~job_id:job.id
+          ~label:job.label (fun () ->
+            Flow_obs.Trace.instant ~cat:"scheduler" "job.start"
+              ~args:
+                [
+                  ("job_id", Flow_obs.Attr.Int job.id);
+                  ("request_id", Flow_obs.Attr.String job.request_id);
+                ];
+            let outcome =
+              match job.run () with
+              | r -> Ok r
+              | exception e -> Error (Printexc.to_string e)
+            in
+            with_lock t (fun () -> finish_locked t job outcome));
         next ()
   in
   next ()
 
 let create ?(workers = default_workers ()) ?(queue_capacity = 64)
-    ?(store_capacity = 256) ?store_shards ~metrics () =
+    ?(store_capacity = 256) ?store_shards ?trace_sample ?trace_slow_ms ~metrics
+    () =
   if workers <= 0 then invalid_arg "Scheduler.create: workers must be positive";
   if queue_capacity <= 0 then
     invalid_arg "Scheduler.create: queue_capacity must be positive";
@@ -153,6 +174,8 @@ let create ?(workers = default_workers ()) ?(queue_capacity = 64)
       active_by_key = Hashtbl.create 64;
       store = Store.create ?shards:store_shards ~capacity:store_capacity ();
       metrics;
+      req_log =
+        Req_trace.create ?sample:trace_sample ?slow_ms:trace_slow_ms ();
       next_id = 0;
       accepting = true;
       stopping = false;
@@ -166,12 +189,15 @@ let create ?(workers = default_workers ()) ?(queue_capacity = 64)
   t
 
 (** Submit one resolved job.  [run] must be self-contained (it executes
-    on a worker thread).  Returns the job id and how the submission was
-    disposed of; [Error] is queue-full backpressure or a draining
-    scheduler. *)
-let submit t ~key ~label ~mode ~strategy run :
+    on a worker thread).  [request_id] names the originating request in
+    the job's trace and lifecycle instants; it plays no part in
+    dedup — coalescing and caching still key on [key] alone.  Returns
+    the job id and how the submission was disposed of; [Error] is
+    queue-full backpressure or a draining scheduler. *)
+let submit t ~key ~label ~mode ~strategy ~request_id run :
     (int * [ `Fresh | `Coalesced | `Cached ], [ `Queue_full | `Shutting_down ])
     result =
+  let t0 = now () in
   with_lock t (fun () ->
       if not t.accepting then Error `Shutting_down
       else
@@ -183,10 +209,22 @@ let submit t ~key ~label ~mode ~strategy run :
             ~args:
               [
                 ("job_id", Flow_obs.Attr.Int job_id);
+                ("request_id", Flow_obs.Attr.String request_id);
                 ( "disposition",
                   Flow_obs.Attr.String
                     (Protocol.disposition_to_string disposition) );
               ];
+          (* cached/coalesced submissions never execute: their whole
+             service latency is this bookkeeping, recorded per
+             disposition (the fresh histogram is fed at finish) *)
+          (match disposition with
+          | `Cached ->
+              Metrics.observe t.metrics "job_ms_cached"
+                (1000.0 *. (now () -. t0))
+          | `Coalesced ->
+              Metrics.observe t.metrics "job_ms_coalesced"
+                (1000.0 *. (now () -. t0))
+          | `Fresh -> ());
           Ok (job_id, disposition)
         in
         match Hashtbl.find_opt t.active_by_key key with
@@ -201,6 +239,7 @@ let submit t ~key ~label ~mode ~strategy run :
                 mode;
                 strategy;
                 cached;
+                request_id;
                 run;
                 state;
                 started_at = None;
@@ -267,6 +306,14 @@ let list t : Protocol.job_view list =
 
 let store_stats t = Store.stats t.store
 let store_shard_stats t = Store.shard_stats t.store
+
+(** Retained request traces (the sampled ring, or the slow ring with
+    [~slow:true]) as JSON, newest first. *)
+let traces ?slow t = Req_trace.to_json ?slow t.req_log
+
+(** (executions recorded, sampled traces retained, slow exemplars
+    retained). *)
+let trace_stats t = Req_trace.stats t.req_log
 
 (** Stop accepting submissions, run the queue dry, join the worker
     domains. *)

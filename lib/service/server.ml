@@ -12,6 +12,8 @@
     then the listener closes and the scheduler drains (queued jobs
     complete) before [serve] returns. *)
 
+module Metrics = Flow_obs.Metrics
+
 type config = {
   workers : int;
   queue_capacity : int;
@@ -54,7 +56,18 @@ let request_counter = function
   | Protocol.Fetch_batch _ -> "requests_fetch_batch"
   | Protocol.List_jobs -> "requests_list_jobs"
   | Protocol.Metrics -> "requests_metrics"
+  | Protocol.Svc_trace _ -> "requests_svc_trace"
   | Protocol.Shutdown -> "requests_shutdown"
+
+(* Fallback request ids for pre-v3 peers that mint none: "srv-N" with a
+   process-wide counter, so every job's trace still names a distinct
+   request. *)
+let srv_request_seq = Atomic.make 0
+
+let request_id_of (s : Protocol.submission) =
+  match s.request_id with
+  | Some rid -> rid
+  | None -> Printf.sprintf "srv-%d" (Atomic.fetch_and_add srv_request_seq 1)
 
 let shard_stats_json t : Json.t =
   Json.List
@@ -73,12 +86,20 @@ let shard_stats_json t : Json.t =
 
 let metrics_json t : Json.t =
   let hits, misses = Scheduler.store_stats t.sched in
+  let traced, retained, retained_slow = Scheduler.trace_stats t.sched in
   Metrics.to_json
     ~extra:
       [
         ("store_hits", Json.Int hits);
         ("store_misses", Json.Int misses);
         ("store_shards", shard_stats_json t);
+        ( "request_traces",
+          Json.Obj
+            [
+              ("executed", Json.Int traced);
+              ("sampled", Json.Int retained);
+              ("slow", Json.Int retained_slow);
+            ] );
         (* the process-wide engine registry: profile-cache hit/miss/
            eviction, pool utilisation, interpreter cycles, DSE candidate
            counts — everything the flow engine records while jobs run *)
@@ -108,9 +129,11 @@ let submit_one t (s : Protocol.submission) :
       Metrics.incr t.metrics "requests_rejected";
       Error e
   | Ok { key; label; run } -> (
+      let request_id = request_id_of s in
       match
         Scheduler.submit t.sched ~key ~label ~mode:s.mode ~strategy:s.strategy
-          run
+          ~request_id
+          (run ~request_id:(Some request_id))
       with
       | Ok (job_id, disposition) -> Ok (job_id, disposition)
       | Error `Queue_full ->
@@ -126,9 +149,7 @@ let fetch_one t id : Protocol.batch_fetch_item =
   | Some (view, Some r) when view.state = Protocol.Done -> Ok (view, Some r)
   | Some (view, _) -> Ok (view, None)
 
-let handle_request t (req : Protocol.request) : Protocol.response =
-  Metrics.incr t.metrics "requests_total";
-  Metrics.incr t.metrics (request_counter req);
+let dispatch t (req : Protocol.request) : Protocol.response =
   match req with
   | Protocol.Submit_flow s -> (
       match submit_one t s with
@@ -151,7 +172,26 @@ let handle_request t (req : Protocol.request) : Protocol.response =
   | Protocol.Fetch_batch ids -> Protocol.Results_batch (List.map (fetch_one t) ids)
   | Protocol.List_jobs -> Protocol.Jobs (Scheduler.list t.sched)
   | Protocol.Metrics -> Protocol.Metrics_data (metrics_json t)
+  | Protocol.Svc_trace { slow } ->
+      Protocol.Traces (Scheduler.traces ~slow t.sched)
   | Protocol.Shutdown -> Protocol.Shutting_down
+
+let handle_request t (req : Protocol.request) : Protocol.response =
+  Metrics.incr t.metrics "requests_total";
+  Metrics.incr t.metrics (request_counter req);
+  let t0 = Unix.gettimeofday () in
+  let resp = dispatch t req in
+  (* per-error-kind handling latency ("req_ms_error_<tag>"): how long
+     each failure class holds a handler thread — a queue_full rejection
+     should be microseconds, a bad_request that parsed megabytes of
+     MiniC first is worth seeing *)
+  (match resp with
+  | Protocol.Error e ->
+      Metrics.observe t.metrics
+        ("req_ms_error_" ^ Protocol.error_kind_tag e)
+        (1000.0 *. (Unix.gettimeofday () -. t0))
+  | _ -> ());
+  resp
 
 let handle_connection t fd =
   let rec loop () =

@@ -14,9 +14,9 @@ dune runtest
 echo "== perf gate (perf --quick + svc-load --quick + regression check) =="
 # Runs the quick perf bench and the quick svc-load daemon replay,
 # checks every outputs_identical flag (including the service replay's
-# byte-identity against direct execution) and fails on a >30%
-# interp-throughput regression or a service throughput/p99 regression
-# vs the committed BENCH_psaflow.json.
+# byte-identity against direct execution) and fails on a regression
+# against the rolling median of recent runs in BENCH_history.jsonl
+# (then appends this run's numbers to the history).
 sh scripts/perf_gate.sh
 
 # The fused single-pass profile bounds the cold flow at one interpreter
@@ -35,6 +35,15 @@ echo "== report smoke (psaflow report --json --strict) =="
 # no missing/stale perf fields degraded to null.
 _build/default/bin/psaflow.exe report --json --strict >/dev/null \
   || { echo "FAIL: report --json --strict rejected fresh perf data"; exit 1; }
+
+echo "== trend smoke (psaflow report --trend) =="
+# perf_gate.sh above appended at least one datapoint, so the trend
+# report must render a non-empty table (and valid JSON) from
+# BENCH_history.jsonl.
+_build/default/bin/psaflow.exe report --trend | grep -q 'service.throughput_rps' \
+  || { echo "FAIL: report --trend shows no service throughput series"; exit 1; }
+_build/default/bin/psaflow.exe report --trend --json | grep -q '"metric"' \
+  || { echo "FAIL: report --trend --json emitted no metric rows"; exit 1; }
 
 PSAFLOW=_build/default/bin/psaflow.exe
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/psaflow-check-XXXXXX.sock")
@@ -102,6 +111,17 @@ grep -q '"engine"' "$TMP/metrics.json" \
   || { echo "FAIL: svc-metrics missing engine registry"; exit 1; }
 grep -q profile_cache "$TMP/metrics.json" \
   || { echo "FAIL: engine registry missing profile-cache counters"; exit 1; }
+
+# the executed submission's trace must be retrievable with its request
+# id intact: the first fresh job of a daemon is always sampled
+"$PSAFLOW" svc-trace --socket "$SOCK" >"$TMP/traces.txt"
+grep -q 'c-' "$TMP/traces.txt" \
+  || { echo "FAIL: svc-trace shows no client-minted request id"; exit 1; }
+"$PSAFLOW" svc-trace --json --socket "$SOCK" >"$TMP/traces.json"
+grep -q '"request_id"' "$TMP/traces.json" \
+  || { echo "FAIL: svc-trace --json missing request_id"; exit 1; }
+grep -q '"traceEvents"' "$TMP/traces.json" \
+  || { echo "FAIL: svc-trace --json missing embedded trace documents"; exit 1; }
 
 # error paths must exit non-zero with a one-line diagnostic
 if "$PSAFLOW" run no-such-benchmark 2>/dev/null; then

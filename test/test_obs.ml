@@ -42,10 +42,11 @@ let finite_summary (s : Metrics.summary) =
     [ s.s_sum; s.s_mean; s.s_min; s.s_max; s.s_p50; s.s_p90; s.s_p99 ]
 
 let test_histogram_empty () =
-  (* nearest-rank percentile is total: an empty window answers, it does
+  (* percentile queries are total: an empty histogram answers, it does
      not raise or divide by zero *)
-  check "empty window percentile" true (Metrics.percentile [||] 50.0 = 0.0);
-  check "empty window p99" true (Metrics.percentile [||] 99.0 = 0.0);
+  let h = Metrics.Hist.create () in
+  check "empty hist percentile" true (Metrics.Hist.percentile h 50.0 = 0.0);
+  check "empty hist p99" true (Metrics.Hist.percentile h 99.0 = 0.0);
   (* the empty summary is all zeros, never infinities/NaN *)
   check "empty summary finite" true (finite_summary Metrics.empty_summary);
   check_int "empty summary count" 0 Metrics.empty_summary.s_count;
@@ -83,6 +84,14 @@ let test_histogram_nan_dropped () =
       check "summary stays finite" true (finite_summary s);
       check "sum unpoisoned" true (s.s_sum = 4.0)
 
+(* Log-bucketed percentiles carry a bounded relative error: the answer
+   is a bucket's geometric midpoint, within a factor [gamma] of the
+   exact nearest-rank percentile (one extra gamma of slack absorbs
+   float rounding at bucket boundaries). *)
+let within_gamma exact approx =
+  let tol = Metrics.Hist.gamma *. Metrics.Hist.gamma in
+  approx >= exact /. tol && approx <= exact *. tol
+
 let test_histogram_percentiles () =
   let m = Metrics.create () in
   for i = 1 to 100 do
@@ -91,10 +100,72 @@ let test_histogram_percentiles () =
   match Metrics.histogram_summary m "lat" with
   | None -> Alcotest.fail "histogram lost"
   | Some s ->
-      check "p50" true (s.s_p50 = 50.0);
-      check "p90" true (s.s_p90 = 90.0);
-      check "p99" true (s.s_p99 = 99.0);
-      check "mean" true (s.s_mean = 50.5)
+      check "p50 within bucket error" true (within_gamma 50.0 s.s_p50);
+      check "p90 within bucket error" true (within_gamma 90.0 s.s_p90);
+      check "p99 within bucket error" true (within_gamma 99.0 s.s_p99);
+      check "mean exact" true (s.s_mean = 50.5);
+      check "min/max exact" true (s.s_min = 1.0 && s.s_max = 100.0);
+      (* percentiles never step outside the observed range *)
+      check "p50 in range" true (s.s_p50 >= 1.0 && s.s_p50 <= 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histogram merge                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_merge () =
+  let a = Metrics.Hist.create () and b = Metrics.Hist.create () in
+  List.iter (Metrics.Hist.observe a) [ 1.0; 2.0; 3.0 ];
+  List.iter (Metrics.Hist.observe b) [ 100.0; 200.0 ];
+  Metrics.Hist.merge ~into:a b;
+  let s = Metrics.Hist.summary a in
+  check_int "merged count" 5 s.s_count;
+  check "merged sum" true (s.s_sum = 306.0);
+  check "merged min/max span both sources" true
+    (s.s_min = 1.0 && s.s_max = 200.0);
+  (* the source histogram is untouched *)
+  check_int "source count unchanged" 2 (Metrics.Hist.summary b).s_count;
+  (* merging an empty histogram is the identity *)
+  Metrics.Hist.merge ~into:a (Metrics.Hist.create ());
+  check_int "empty merge is identity" 5 (Metrics.Hist.summary a).s_count
+
+(* exact nearest-rank percentile over raw samples, the reference the
+   sketch approximates *)
+let exact_percentile samples p =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank =
+    max 1 (min n (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n))))
+  in
+  a.(rank - 1)
+
+let arb_samples =
+  QCheck.make
+    ~print:(fun (xs, ys) ->
+      Printf.sprintf "%d + %d samples" (List.length xs) (List.length ys))
+    QCheck.Gen.(
+      let samples =
+        list_size (int_range 1 200)
+          (map (fun n -> float_of_int n /. 16.0) (int_range 1 160_000))
+      in
+      pair samples samples)
+
+(* Merging per-thread sketches must answer percentiles within the
+   bucket's relative-error bound of the exact pooled nearest-rank
+   value — the property the load runner's merged latency sketch relies
+   on. *)
+let merged_percentile_prop =
+  Helpers.qtest ~count:200 "merged histogram percentiles within gamma bound"
+    arb_samples (fun (xs, ys) ->
+      let hx = Metrics.Hist.create () and hy = Metrics.Hist.create () in
+      List.iter (Metrics.Hist.observe hx) xs;
+      List.iter (Metrics.Hist.observe hy) ys;
+      Metrics.Hist.merge ~into:hx hy;
+      List.for_all
+        (fun p ->
+          within_gamma (exact_percentile (xs @ ys) p)
+            (Metrics.Hist.percentile hx p))
+        [ 50.0; 90.0; 99.0 ])
 
 (* ------------------------------------------------------------------ *)
 (* Tracer: span mechanics                                              *)
@@ -145,6 +216,61 @@ let test_disabled_records_nothing () =
   Trace.add_args [ ("ghost", Attr.Bool true) ];
   check_int "nothing recorded while disabled" 0
     (List.length (Trace.completed_spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer: request recordings                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_recording_without_global () =
+  (* recordings capture spans while the global tracer is off — the
+     always-on daemon path *)
+  Trace.start ();
+  Trace.stop ();
+  Trace.request_begin ();
+  Trace.with_span ~cat:"rq" "outer" (fun () ->
+      Trace.with_span ~cat:"rq" "inner" (fun () -> ());
+      Trace.add_args [ ("k", Attr.Int 7) ]);
+  Trace.instant ~cat:"rq" "mark";
+  let spans = Trace.request_end () in
+  check_int "recording captured all three events" 3 (List.length spans);
+  check_int "global buffer untouched" 0 (List.length (Trace.completed_spans ()));
+  let find n = List.find (fun s -> s.Trace.sp_name = n) spans in
+  let outer = find "outer" and inner = find "inner" in
+  check "nesting preserved in recording" true
+    (outer.Trace.sp_begin < inner.Trace.sp_begin
+    && inner.Trace.sp_end < outer.Trace.sp_end);
+  check "add_args lands on the recorded open span" true
+    (List.mem_assoc "k" outer.Trace.sp_args);
+  (* the recording export is valid Chrome JSON *)
+  match Json.member "traceEvents" (Json.parse (Trace.export_spans ~normalize:true spans)) with
+  | Some (Json.List evs) -> check_int "exported events" 3 (List.length evs)
+  | _ -> Alcotest.fail "recording export is not a Chrome trace document"
+
+let test_request_recording_alongside_global () =
+  (* with the global tracer on, spans land in both sinks and ending the
+     recording does not disturb the global buffer *)
+  Trace.start ();
+  Trace.request_begin ();
+  Trace.with_span ~cat:"both" "shared" (fun () -> ());
+  let recorded = Trace.request_end () in
+  Trace.instant ~cat:"both" "after-recording";
+  Trace.stop ();
+  check_int "recording got the span" 1 (List.length recorded);
+  check_int "global kept both events" 2
+    (List.length (Trace.completed_spans ()))
+
+let test_request_recording_empty_and_unmatched () =
+  Trace.start ();
+  Trace.stop ();
+  Trace.request_begin ();
+  check "empty recording yields no spans" true (Trace.request_end () = []);
+  (* request_end without request_begin is harmless *)
+  check "unmatched request_end is empty" true (Trace.request_end () = []);
+  (* spans after the recording ended are not captured anywhere *)
+  Trace.with_span ~cat:"rq" "late" (fun () -> ());
+  Trace.request_begin ();
+  check "recording only sees spans opened inside it" true
+    (Trace.request_end () = [])
 
 let test_export_shape () =
   Trace.start ();
@@ -433,6 +559,8 @@ let () =
             test_histogram_nan_dropped;
           Alcotest.test_case "nearest-rank percentiles" `Quick
             test_histogram_percentiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          merged_percentile_prop;
         ] );
       ( "trace",
         [
@@ -443,6 +571,12 @@ let () =
             test_disabled_records_nothing;
           Alcotest.test_case "export shape" `Quick test_export_shape;
           nesting_prop;
+          Alcotest.test_case "request recording without global tracer" `Quick
+            test_request_recording_without_global;
+          Alcotest.test_case "request recording alongside global tracer" `Quick
+            test_request_recording_alongside_global;
+          Alcotest.test_case "request recording edge cases" `Quick
+            test_request_recording_empty_and_unmatched;
         ] );
       ( "golden",
         [

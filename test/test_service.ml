@@ -6,11 +6,13 @@
 module Json = Flow_service.Json
 module Protocol = Flow_service.Protocol
 module Store = Flow_service.Store
-module Metrics = Flow_service.Metrics
+module Metrics = Flow_obs.Metrics
 module Scheduler = Flow_service.Scheduler
 module Server = Flow_service.Server
 module Client = Flow_service.Client
 module Flow_exec = Flow_service.Flow_exec
+module Req_trace = Flow_service.Req_trace
+module Perf_history = Flow_service.Perf_history
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -286,7 +288,9 @@ let gen_submission =
   let* x_threshold = map float_of_int (int_range 1 16) in
   let* budget = opt (map (fun n -> float_of_int n /. 4.0) (int_range 1 8)) in
   let* trace = bool in
-  return { Protocol.source; mode; strategy; x_threshold; budget; trace }
+  let* request_id = opt (map (Printf.sprintf "rq-%d") (int_bound 999)) in
+  return
+    { Protocol.source; mode; strategy; x_threshold; budget; trace; request_id }
 
 let arb_submit_batch =
   QCheck.make
@@ -380,6 +384,61 @@ let test_batch_limits () =
   in
   check "report-without-data refused" true
     (is_bad (Protocol.response_of_json (reparse truncated)))
+
+(* --- request ids and svc_trace (protocol v3) ----------------------- *)
+
+let test_protocol_v3_trace_frames () =
+  let reparse j = Json.parse (Json.to_string j) in
+  let is_bad = function Error (Protocol.Bad_request _) -> true | _ -> false in
+  let restamp v = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, x) -> if k = "v" then (k, Json.Int v) else (k, x))
+             fields)
+    | j -> j
+  in
+  (* svc_trace round-trips for both rings *)
+  List.iter
+    (fun slow ->
+      let req = Protocol.Svc_trace { slow } in
+      check "svc_trace round-trips" true
+        (Protocol.request_of_json (reparse (Protocol.request_to_json req))
+        = Ok req))
+    [ true; false ];
+  (* the traces response round-trips its payload verbatim *)
+  let resp =
+    Protocol.Traces
+      (Json.List
+         [ Json.Obj [ ("request_id", Json.String "c-1"); ("seq", Json.Int 0) ] ])
+  in
+  check "traces round-trips" true
+    (Protocol.response_of_json (reparse (Protocol.response_to_json resp))
+    = Ok resp);
+  (* submissions carry the request id end to end *)
+  let req =
+    Protocol.Submit_flow
+      (Protocol.submission ~request_id:"c-beef-0" (Protocol.Bench "nbody"))
+  in
+  check "submission request_id round-trips" true
+    (Protocol.request_of_json (reparse (Protocol.request_to_json req)) = Ok req);
+  (* v3-only frames are refused when stamped v2 *)
+  check "v2 svc_trace refused" true
+    (is_bad
+       (Protocol.request_of_json
+          (restamp 2
+             (reparse
+                (Protocol.request_to_json (Protocol.Svc_trace { slow = false }))))));
+  check "v2 submission with request_id refused" true
+    (is_bad (Protocol.request_of_json (restamp 2 (reparse (Protocol.request_to_json req)))));
+  (* a pre-v3 peer without request ids still speaks to us *)
+  let old = Protocol.Submit_flow (Protocol.submission (Protocol.Bench "nbody")) in
+  check "v2 plain submission accepted" true
+    (Protocol.request_of_json (restamp 2 (reparse (Protocol.request_to_json old)))
+    = Ok old);
+  check "v1 plain submission accepted" true
+    (Protocol.request_of_json (restamp 1 (reparse (Protocol.request_to_json old)))
+    = Ok old)
 
 (* --- framing ------------------------------------------------------- *)
 
@@ -605,7 +664,7 @@ let test_scheduler_dedup () =
   Mutex.lock gate;
   let submit () =
     Scheduler.submit sched ~key:"K" ~label:"t" ~mode:Protocol.Informed
-      ~strategy:Protocol.Fig3 (fun () ->
+      ~strategy:Protocol.Fig3 ~request_id:"rq-dedup" (fun () ->
         Mutex.lock gate;
         Mutex.unlock gate;
         Atomic.incr executions;
@@ -643,7 +702,7 @@ let test_scheduler_backpressure () =
   Mutex.lock gate;
   let submit key =
     Scheduler.submit sched ~key ~label:key ~mode:Protocol.Informed
-      ~strategy:Protocol.Fig3 (fun () ->
+      ~strategy:Protocol.Fig3 ~request_id:"rq-bp" (fun () ->
         Mutex.lock gate;
         Mutex.unlock gate;
         dummy_result key)
@@ -674,7 +733,8 @@ let test_scheduler_failure () =
   let id, _ =
     Result.get_ok
       (Scheduler.submit sched ~key:"F" ~label:"f" ~mode:Protocol.Informed
-         ~strategy:Protocol.Fig3 (fun () -> failwith "deliberate"))
+         ~strategy:Protocol.Fig3 ~request_id:"rq-f1" (fun () ->
+           failwith "deliberate"))
   in
   check "failure recorded" true
     (wait_until (fun () ->
@@ -685,11 +745,176 @@ let test_scheduler_failure () =
   let _, d =
     Result.get_ok
       (Scheduler.submit sched ~key:"F" ~label:"f" ~mode:Protocol.Informed
-         ~strategy:Protocol.Fig3 (fun () -> dummy_result "ok"))
+         ~strategy:Protocol.Fig3 ~request_id:"rq-f2" (fun () ->
+           dummy_result "ok"))
   in
   check "failed result not cached" true (d = `Fresh);
   Scheduler.shutdown sched;
   check_int "jobs_failed counted" 1 (Metrics.counter_value metrics "jobs_failed")
+
+(* ------------------------------------------------------------------ *)
+(* Request-trace capture (Req_trace)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_req_trace_sampling () =
+  (* sample every 2nd execution; slow threshold unreachably high *)
+  let t = Req_trace.create ~sample:2 ~slow_ms:1e12 () in
+  for i = 0 to 3 do
+    Req_trace.record t
+      ~request_id:(Printf.sprintf "r%d" i)
+      ~job_id:i ~label:"x"
+      (fun () -> ())
+  done;
+  let executed, retained, retained_slow = Req_trace.stats t in
+  check_int "all executions counted" 4 executed;
+  check_int "every 2nd retained (incl. the first)" 2 retained;
+  check_int "nothing slow" 0 retained_slow;
+  check "slow ring empty" true (Req_trace.to_json ~slow:true t = Json.List []);
+  match Req_trace.to_json t with
+  | Json.List [ newest; oldest ] ->
+      check "newest first" true
+        (Json.member "request_id" newest = Some (Json.String "r2"));
+      check "first execution always sampled" true
+        (Json.member "request_id" oldest = Some (Json.String "r0"));
+      check "sampled flag set" true
+        (Json.member "sampled" newest = Some (Json.Bool true))
+  | j -> Alcotest.failf "unexpected sampled ring: %s" (Json.to_string j)
+
+let test_req_trace_slow_exemplars () =
+  (* sampling effectively off (1 in 1000), slow threshold 0 ms: every
+     execution is a slow exemplar, only the first is sampled *)
+  let t = Req_trace.create ~sample:1000 ~slow_ms:0.0 () in
+  Req_trace.record t ~request_id:"s0" ~job_id:1 ~label:"x" (fun () -> ());
+  Req_trace.record t ~request_id:"s1" ~job_id:2 ~label:"x" (fun () -> ());
+  let _, retained, retained_slow = Req_trace.stats t in
+  check_int "only seq 0 sampled" 1 retained;
+  check_int "both slow" 2 retained_slow;
+  (match Req_trace.to_json ~slow:true t with
+  | Json.List l -> check_int "slow ring holds both" 2 (List.length l)
+  | _ -> Alcotest.fail "slow ring not a list");
+  (* a raising job still closes its recording and counts as executed *)
+  (try
+     Req_trace.record t ~request_id:"s2" ~job_id:3 ~label:"x" (fun () ->
+         failwith "deliberate")
+   with Failure _ -> ());
+  let executed, _, retained_slow = Req_trace.stats t in
+  check_int "raised execution counted" 3 executed;
+  check_int "raised execution still retained as slow" 3 retained_slow
+
+let test_req_trace_ring_capacity () =
+  let t = Req_trace.create ~capacity:2 ~sample:1 ~slow_ms:1e12 () in
+  for i = 0 to 4 do
+    Req_trace.record t
+      ~request_id:(Printf.sprintf "r%d" i)
+      ~job_id:i ~label:"x"
+      (fun () -> ())
+  done;
+  let _, retained, _ = Req_trace.stats t in
+  check_int "retained counter counts all" 5 retained;
+  match Req_trace.to_json t with
+  | Json.List [ a; b ] ->
+      check "ring keeps the newest two" true
+        (Json.member "request_id" a = Some (Json.String "r4")
+        && Json.member "request_id" b = Some (Json.String "r3"))
+  | j -> Alcotest.failf "unexpected ring: %s" (Json.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Perf history: JSONL store and rolling-median gate                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_perf_history_median () =
+  check "odd length" true (Perf_history.median [ 3.0; 1.0; 2.0 ] = Some 2.0);
+  check "even length averages the middle pair" true
+    (Perf_history.median [ 4.0; 1.0; 2.0; 3.0 ] = Some 2.5);
+  check "singleton" true (Perf_history.median [ 7.0 ] = Some 7.0);
+  check "empty" true (Perf_history.median [] = None)
+
+let test_perf_history_file_roundtrip () =
+  let path = Filename.temp_file "psaflow-history" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  check "missing file is an empty history" true
+    (Perf_history.load ~path:(path ^ ".does-not-exist") = []);
+  let dp i =
+    {
+      Perf_history.commit = Printf.sprintf "c%d" i;
+      time = float_of_int i;
+      quick = i mod 2 = 0;
+      metrics = [ ("m", float_of_int (10 + i)); ("n", 0.5) ];
+    }
+  in
+  List.iter (fun i -> Perf_history.append ~path (dp i)) [ 0; 1; 2 ];
+  (* corrupt and alien lines are skipped, never fatal *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "not json at all\n{\"commit\": 42}\n";
+  close_out oc;
+  let loaded = Perf_history.load ~path in
+  check_int "three entries survive the corrupt lines" 3 (List.length loaded);
+  check "oldest first, fields intact" true
+    (match loaded with
+    | first :: _ ->
+        first.Perf_history.commit = "c0"
+        && first.Perf_history.quick
+        && List.assoc_opt "m" first.Perf_history.metrics = Some 10.0
+    | [] -> false)
+
+let test_perf_history_gate () =
+  let dp commit v =
+    { Perf_history.commit; time = 0.0; quick = true; metrics = [ ("rps", v) ] }
+  in
+  let history = [ dp "a" 100.0; dp "b" 110.0; dp "c" 90.0 ] in
+  let gate ?exclude_commit ?(quick = true) ~direction ~factor v =
+    Perf_history.gate ?exclude_commit ~history ~quick ~metric:"rps" ~direction
+      ~factor v
+  in
+  (match gate ~direction:Perf_history.Higher_better ~factor:0.7 95.0 with
+  | Perf_history.Pass { median; used; _ } ->
+      check "median of the window" true (median = 100.0);
+      check_int "all three entries used" 3 used
+  | _ -> Alcotest.fail "expected Pass");
+  (match gate ~direction:Perf_history.Higher_better ~factor:0.7 50.0 with
+  | Perf_history.Fail _ -> ()
+  | _ -> Alcotest.fail "expected Fail below 70% of median");
+  (match gate ~direction:Perf_history.Lower_better ~factor:4.0 500.0 with
+  | Perf_history.Fail _ -> ()
+  | _ -> Alcotest.fail "expected Fail above 4x median");
+  (match gate ~direction:Perf_history.Lower_better ~factor:4.0 150.0 with
+  | Perf_history.Pass _ -> ()
+  | _ -> Alcotest.fail "expected Pass within 4x median");
+  (* excluding the gating commit leaves 2 comparable entries -> Skip *)
+  (match
+     gate ~exclude_commit:"c" ~direction:Perf_history.Higher_better ~factor:0.7
+       95.0
+   with
+  | Perf_history.Skip _ -> ()
+  | _ -> Alcotest.fail "expected Skip when < 3 comparable entries");
+  (* quick history never gates a full run *)
+  (match
+     gate ~quick:false ~direction:Perf_history.Higher_better ~factor:0.7 95.0
+   with
+  | Perf_history.Skip _ -> ()
+  | _ -> Alcotest.fail "expected Skip across scales");
+  (* an absent metric is a Skip, not a crash *)
+  (match
+     Perf_history.gate ~history ~quick:true ~metric:"nope"
+       ~direction:Perf_history.Higher_better ~factor:0.7 1.0
+   with
+  | Perf_history.Skip _ -> ()
+  | _ -> Alcotest.fail "expected Skip for unknown metric");
+  (* the rolling window really rolls: old glory days fall out of K *)
+  let history7 =
+    List.mapi
+      (fun i v -> dp (string_of_int i) v)
+      [ 1000.0; 1000.0; 1000.0; 10.0; 10.0; 10.0; 10.0 ]
+  in
+  match
+    Perf_history.gate ~k:4 ~history:history7 ~quick:true ~metric:"rps"
+      ~direction:Perf_history.Higher_better ~factor:0.7 9.0
+  with
+  | Perf_history.Pass { median; _ } ->
+      check "window medians only the recent entries" true (median = 10.0)
+  | _ -> Alcotest.fail "expected Pass against the rolled window"
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -1044,6 +1269,87 @@ let test_job_listing_and_unknown_job () =
       | Protocol.Jobs [] -> ()
       | _ -> Alcotest.fail "expected empty job list")
 
+(* The client-minted request id must survive the full path — protocol
+   frame, server, scheduler job, flow-exec root span — and come back
+   attached to the retained trace served by svc_trace.  The first
+   executed job of a fresh daemon is always sampled, so one submission
+   suffices regardless of the sampling rate. *)
+let test_request_id_trace_end_to_end () =
+  with_daemon (fun addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let rid, job_id =
+        match
+          Client.submit c
+            (Protocol.submission (Protocol.Inline (inline_kernel 91)))
+        with
+        | rid, Ok (job_id, `Fresh) -> (rid, job_id)
+        | rid, Ok (_, _) -> Alcotest.failf "%s: expected a fresh job" rid
+        | _, Error e -> Alcotest.fail (Protocol.error_message e)
+      in
+      check "client minted an id" true (String.length rid > 0);
+      (match Client.wait_result addr job_id with
+      | Ok (view, _) -> check "done" true (view.Protocol.state = Protocol.Done)
+      | Error e -> Alcotest.fail e);
+      let records =
+        match Client.traces addr with
+        | Json.List l -> l
+        | j -> Alcotest.failf "traces: expected a list, got %s" (Json.to_string j)
+      in
+      let r =
+        match
+          List.find_opt
+            (fun r ->
+              Json.member "request_id" r = Some (Json.String rid))
+            records
+        with
+        | Some r -> r
+        | None ->
+            Alcotest.failf "no retained trace carries request id %s (%d records)"
+              rid (List.length records)
+      in
+      check "record names the executed job" true
+        (Json.member "job_id" r = Some (Json.Int job_id));
+      check "retained because sampled" true
+        (Json.member "sampled" r = Some (Json.Bool true));
+      (* the embedded Chrome document holds the scheduler lifecycle
+         instants and the flow root span, all tagged with the id *)
+      let events =
+        match Option.bind (Json.member "trace" r) (Json.member "traceEvents") with
+        | Some (Json.List evs) -> evs
+        | _ -> Alcotest.fail "no embedded traceEvents"
+      in
+      let cat_of e =
+        Option.value ~default:""
+          (Option.bind (Json.member "cat" e) Json.to_string_opt)
+      in
+      let rid_of e =
+        Option.bind
+          (Option.bind (Json.member "args" e) (Json.member "request_id"))
+          Json.to_string_opt
+      in
+      check "flow root span captured" true
+        (List.exists (fun e -> cat_of e = "service" && rid_of e = Some rid)
+           events);
+      check "scheduler start+finish instants captured" true
+        (List.length
+           (List.filter
+              (fun e -> cat_of e = "scheduler" && rid_of e = Some rid)
+              events)
+        >= 2);
+      (* the sampled ring is also surfaced in svc-metrics *)
+      match Client.rpc addr Protocol.Metrics with
+      | Protocol.Metrics_data m ->
+          let m = Json.parse (Json.to_string m) in
+          let traces = Json.member "request_traces" m in
+          check "metrics report a retained trace" true
+            (match Option.bind traces (Json.member "sampled") with
+            | Some (Json.Int n) -> n >= 1
+            | _ -> false)
+      | other ->
+          Alcotest.failf "metrics: %s"
+            (Json.to_string (Protocol.response_to_json other)))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1061,6 +1367,8 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "versioning" `Quick test_protocol_versioning;
+          Alcotest.test_case "v3 request ids and svc_trace" `Quick
+            test_protocol_v3_trace_frames;
           batch_request_roundtrip;
           fetch_batch_roundtrip;
           Alcotest.test_case "batch limits" `Quick test_batch_limits;
@@ -1082,6 +1390,22 @@ let () =
             test_scheduler_backpressure;
           Alcotest.test_case "failure isolation" `Quick test_scheduler_failure;
         ] );
+      ( "req_trace",
+        [
+          Alcotest.test_case "deterministic sampling" `Quick
+            test_req_trace_sampling;
+          Alcotest.test_case "slow exemplars" `Quick
+            test_req_trace_slow_exemplars;
+          Alcotest.test_case "ring capacity" `Quick test_req_trace_ring_capacity;
+        ] );
+      ( "perf_history",
+        [
+          Alcotest.test_case "median" `Quick test_perf_history_median;
+          Alcotest.test_case "jsonl roundtrip" `Quick
+            test_perf_history_file_roundtrip;
+          Alcotest.test_case "rolling-median gate" `Quick
+            test_perf_history_gate;
+        ] );
       ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
       ( "daemon",
         [
@@ -1090,6 +1414,8 @@ let () =
           Alcotest.test_case "batch end-to-end" `Quick test_batch_end_to_end;
           Alcotest.test_case "client receive timeout" `Quick test_client_timeout;
           Alcotest.test_case "connection cap" `Quick test_connection_cap;
+          Alcotest.test_case "request-id trace end-to-end" `Quick
+            test_request_id_trace_end_to_end;
           Alcotest.test_case "end-to-end vs direct flow" `Slow test_end_to_end;
           Alcotest.test_case "explain and per-job trace" `Slow
             test_explain_and_trace;
