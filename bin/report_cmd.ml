@@ -251,6 +251,20 @@ let perf_section () : Json.t * string list =
         ( "interp_bytecode_speedup_vs_threaded",
           pick bench [ "interp"; "bytecode"; "speedup_vs_threaded" ] );
         ("parallel_outputs_identical", pick bench [ "parallel"; "outputs_identical" ]);
+        (* surrogate-guided DSE: exhaustive vs guided-warm analytic-model
+           call counts, the resulting saving, and the winner-identity
+           check (all from the perf bench's "dse" legs) *)
+        ( "dse_simulate_calls_exhaustive",
+          pick bench [ "dse"; "exhaustive"; "simulate_calls" ] );
+        ( "dse_simulate_calls_guided",
+          pick bench [ "dse"; "guided_warm"; "simulate_calls" ] );
+        ( "dse_simulate_call_reduction",
+          pick bench [ "dse"; "simulate_call_reduction" ] );
+        ("dse_outputs_identical", pick bench [ "dse"; "outputs_identical" ]);
+        ( "surrogate_predictions",
+          pick bench [ "dse"; "guided_warm"; "predictions" ] );
+        ("surrogate_fallbacks", pick bench [ "dse"; "guided_warm"; "fallbacks" ]);
+        ("surrogate_hit_topk", pick bench [ "dse"; "guided_warm"; "hit_topk" ]);
       ]
   in
   (fields, List.rev !warnings)

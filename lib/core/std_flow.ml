@@ -220,12 +220,20 @@ module Repository = struct
         let d = Codegen.Openmp_gen.generate ctx.program ~kernel in
         with_current ctx d)
 
+  (* Surrogate-guided sweeps report how they chose (branch "D.<design>"
+     in [psaflow explain]); exhaustive sweeps record nothing, so
+     PSAFLOW_NO_SURROGATE reproduces today's provenance bit-for-bit. *)
+  let record_dse_decision decision ctx =
+    match decision with
+    | Some d -> Context.record_decision d ctx
+    | None -> ctx
+
   let omp_threads_dse =
     Task.make "OMP Num. Threads DSE" Task.Optimisation (fun ctx ->
         let d = current_exn ctx in
         let r = Dse.Threads_dse.run d (Context.eval_features_exn ctx) in
-        logf (with_current ctx r.design) "threads DSE chose %d threads"
-          r.chosen_threads)
+        let ctx = record_dse_decision r.decision (with_current ctx r.design) in
+        logf ctx "threads DSE chose %d threads" r.chosen_threads)
 
   (* ---------------- GPU path ---------------- *)
 
@@ -277,8 +285,8 @@ module Repository = struct
           { d with Codegen.Design.device_id; name = "hip_" ^ device_id }
         in
         let r = Dse.Blocksize_dse.run d (Context.eval_features_exn ctx) in
-        logf (with_current ctx r.design) "%s blocksize DSE chose %d" label
-          r.chosen_blocksize)
+        let ctx = record_dse_decision r.decision (with_current ctx r.design) in
+        logf ctx "%s blocksize DSE chose %d" label r.chosen_blocksize)
 
   (* ---------------- FPGA path ---------------- *)
 
@@ -330,7 +338,7 @@ module Repository = struct
           { d with Codegen.Design.device_id; name = "oneapi_" ^ device_id }
         in
         let r = Dse.Unroll_dse.run d (Context.eval_features_exn ctx) in
-        let ctx = with_current ctx r.design in
+        let ctx = record_dse_decision r.decision (with_current ctx r.design) in
         if r.synthesizable then
           logf ctx "%s unroll DSE chose factor %d (%d steps)" label
             r.chosen_factor (List.length r.steps)
@@ -347,6 +355,17 @@ module Repository = struct
         let d = current_exn ctx in
         let f = Context.eval_features_exn ctx in
         let r = Devices.Simulate.run d f in
+        (* train the surrogate on the finalized design's real outcome
+           too — into a per-design "final" model, never the sweep
+           models, so sweep memos stay authoritative for their own
+           objective *)
+        if Flow_surrogate.Surrogate.active () then
+          Flow_surrogate.Surrogate.observe ("final:" ^ d.name)
+            ~x:
+              (Flow_surrogate.Featvec.extract ~design:d ~unroll:d.unroll_factor
+                 ~blocksize:d.blocksize ~threads:d.num_threads f)
+            ~y:(Flow_surrogate.Surrogate.y_of_seconds r.seconds)
+            ~payload:[| r.seconds; r.speedup |];
         let ctx =
           logf ctx "%s: %.4g s, speedup %.1fx%s" d.name r.seconds r.speedup
             (if r.feasible then "" else " (not synthesizable)")

@@ -16,6 +16,8 @@ type result = {
   design : Codegen.Design.t;  (** with the chosen blocksize *)
   chosen_blocksize : int;
   steps : step list;
+  decision : Flow_obs.Provenance.decision option;
+      (** surrogate sweep provenance; [None] on exhaustive sweeps *)
 }
 
 (** The swept blocksizes (filtered to the device maximum at run time). *)

@@ -11,6 +11,8 @@ type result = {
   design : Codegen.Design.t;  (** with the chosen thread count *)
   chosen_threads : int;
   steps : step list;
+  decision : Flow_obs.Provenance.decision option;
+      (** surrogate sweep provenance; [None] on exhaustive sweeps *)
 }
 
 (** Run the DSE for an OpenMP design on its CPU device. *)

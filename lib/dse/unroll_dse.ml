@@ -5,7 +5,19 @@
     report) for estimated utilisation after each step, until the device
     overmaps (> 90 %).  The last fitting design is kept; if even unroll 1
     overmaps, the design is unsynthesizable for this device — exactly the
-    paper's Rush Larsen outcome. *)
+    paper's Rush Larsen outcome.
+
+    When the surrogate is active the speculative sweep is guided: the
+    learned model ranks the candidate factors (largest predicted-fitting
+    factor first — the predicted overmap boundary) and the analytic
+    resource model runs only for the top-k plus every candidate without
+    a memo-exact prediction.  The doubling walk is then reconstructed
+    over authoritative values only, so the trajectory and the chosen
+    factor are identical to the exhaustive sweep in every state of
+    training. *)
+
+module Surrogate = Flow_surrogate.Surrogate
+module Featvec = Flow_surrogate.Featvec
 
 type step = {
   factor : int;
@@ -20,6 +32,8 @@ type result = {
   chosen_factor : int;
   synthesizable : bool;
   steps : step list;  (** DSE trajectory, in exploration order *)
+  decision : Flow_obs.Provenance.decision option;
+      (** surrogate sweep provenance; [None] on exhaustive sweeps *)
 }
 
 let max_factor = 1 lsl 16
@@ -27,12 +41,14 @@ let max_factor = 1 lsl 16
 (** Run the DSE for [design] on its FPGA device. *)
 let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
   let fpga = Devices.Spec.find_fpga design.device_id in
-  let eval n =
+  let mname = "unroll:" ^ design.device_id in
+  let eval ?x n =
     Flow_obs.Trace.with_span ~cat:"dse" "dse.unroll_candidate"
       ~args:[ ("factor", Flow_obs.Attr.Int n) ]
     @@ fun () ->
     let m = Flow_obs.Metrics.global in
     Flow_obs.Metrics.incr m "dse_candidates";
+    Flow_obs.Metrics.incr m "dse_simulate_calls";
     let r = Devices.Fpga_model.resources fpga design features ~unroll:n in
     if r.overmapped then Flow_obs.Metrics.incr m "dse_rejected";
     Flow_obs.Trace.add_args
@@ -40,6 +56,18 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
         ("utilization", Flow_obs.Attr.Float r.utilization);
         ("overmapped", Flow_obs.Attr.Bool r.overmapped);
       ];
+    (match x with
+    | Some x ->
+        Surrogate.observe mname ~x
+          ~y:(Float.log1p (Float.max 0.0 r.utilization))
+          ~payload:
+            [|
+              r.utilization;
+              r.alm_util;
+              r.dsp_util;
+              (if r.overmapped then 1.0 else 0.0);
+            |]
+    | None -> ());
     {
       factor = n;
       utilization = r.utilization;
@@ -60,7 +88,61 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
     in
     go 1 []
   in
-  let evaluated = Pool.map (fun n -> (n, eval n)) factors in
+  let guided = Surrogate.active () in
+  let evaluated, plan_info =
+    if not guided then (Pool.map (fun n -> (n, eval n)) factors, None)
+    else begin
+      let cand = Array.of_list factors in
+      let xs =
+        Array.map
+          (fun n ->
+            Featvec.extract ~design ~unroll:n ~blocksize:design.blocksize
+              ~threads:design.num_threads features)
+          cand
+      in
+      let preds = Array.map (Surrogate.predict mname) xs in
+      (* rank the largest factor predicted to fit first: the predicted
+         overmap boundary is exactly where a fresh evaluation is most
+         valuable *)
+      let scored =
+        Array.mapi
+          (fun i p ->
+            let fits_score fits =
+              if fits then -.float_of_int cand.(i) else infinity
+            in
+            ( p,
+              match p with
+              | Surrogate.Exact payload -> fits_score (payload.(3) = 0.0)
+              | Surrogate.Estimate v -> fits_score (Float.expm1 v <= 0.9)
+              | Surrogate.Cold -> infinity ))
+          preds
+      in
+      let k = Surrogate.topk () in
+      let plan = Surrogate.plan ~k scored in
+      if plan.Surrogate.fallback then
+        Flow_obs.Metrics.incr Flow_obs.Metrics.global "surrogate_fallbacks";
+      let evaluated =
+        Pool.map
+          (fun i ->
+            let n = cand.(i) in
+            if plan.Surrogate.simulate.(i) then (n, eval ~x:xs.(i) n)
+            else
+              match preds.(i) with
+              | Surrogate.Exact p ->
+                  ( n,
+                    {
+                      factor = n;
+                      utilization = p.(0);
+                      alm_util = p.(1);
+                      dsp_util = p.(2);
+                      overmapped = p.(3) <> 0.0;
+                    } )
+              | _ -> assert false)
+          (List.init (Array.length cand) Fun.id)
+      in
+      (evaluated, Some (plan, cand))
+    end
+  in
   let rec walk best steps = function
     | [] -> (best, steps)
     | (n, s) :: rest ->
@@ -69,6 +151,29 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
         else walk (Some n) steps rest
   in
   let best, steps = walk None [] evaluated in
+  (match (plan_info, best) with
+  | Some (plan, cand), Some factor ->
+      let won = ref false in
+      Array.iteri
+        (fun i n -> if n = factor && plan.Surrogate.in_topk.(i) then won := true)
+        cand;
+      if !won then
+        Flow_obs.Metrics.incr Flow_obs.Metrics.global "surrogate_hit_topk"
+  | _ -> ());
+  (* recorded whenever the knob is on — including traced runs, where the
+     sweep itself stays exhaustive — so explain output depends only on
+     configuration, never on tracing or model warmth *)
+  let decision ~chosen ~synthesizable =
+    if not (Surrogate.enabled ()) then None
+    else
+      Some
+        (Surrogate.decision ~design_name:design.name ~sweep:"unroll"
+           ~device:design.device_id ~candidates:(List.length factors)
+           ~chosen:
+             (if synthesizable then Printf.sprintf "unroll factor %d" chosen
+              else "unsynthesizable")
+           ~evidence:[ ("synthesizable", Flow_obs.Attr.Bool synthesizable) ])
+  in
   match best with
   | Some factor ->
       {
@@ -76,14 +181,22 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
         chosen_factor = factor;
         synthesizable = true;
         steps = List.rev steps;
+        decision = decision ~chosen:factor ~synthesizable:true;
       }
   | None ->
       (* the single-pipeline design already exceeds the 90% DSE headroom:
          it is still synthesizable if it physically fits the device
          (<= 100%), just with no unroll; beyond that it is not (the
-         paper's Rush Larsen FPGA outcome) *)
+         paper's Rush Larsen FPGA outcome).  The factor-1 candidate is
+         always the sweep's first evaluation, and [fits] is by
+         definition [utilization <= 1.0], so no extra model call is
+         needed. *)
       let fits =
-        (Devices.Fpga_model.resources fpga design features ~unroll:1).fits
+        match evaluated with
+        | (1, s) :: _ -> s.utilization <= 1.0
+        | _ ->
+            Flow_obs.Metrics.incr Flow_obs.Metrics.global "dse_simulate_calls";
+            (Devices.Fpga_model.resources fpga design features ~unroll:1).fits
       in
       let design = Codegen.Oneapi_gen.set_unroll_factor design 1 in
       {
@@ -91,4 +204,5 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
         chosen_factor = 1;
         synthesizable = fits;
         steps = List.rev steps;
+        decision = decision ~chosen:1 ~synthesizable:fits;
       }

@@ -19,6 +19,8 @@ type result = {
   chosen_factor : int;
   synthesizable : bool;
   steps : step list;  (** DSE trajectory, in exploration order *)
+  decision : Flow_obs.Provenance.decision option;
+      (** surrogate sweep provenance; [None] on exhaustive sweeps *)
 }
 
 (** Upper bound on explored factors (runaway guard). *)

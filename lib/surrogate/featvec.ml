@@ -1,0 +1,150 @@
+(** Deterministic feature extraction for the DSE surrogate.
+
+    One fixed-width float vector per (candidate design point, kernel):
+    the tuning knobs under sweep, the design's recorded optimisation
+    flags, and the analysis facts the device models price.  The vector
+    is deliberately a *superset* of every device model's inputs — the
+    CPU model reads the thread count plus call/cycle/parallelism facts,
+    the GPU model reads the blocksize, flags, op mix, traffic and
+    register facts, and the FPGA resource model reads the unroll factor,
+    precision, hardware op census, locals and BRAM footprints — so two
+    candidates with equal vectors (for the same device, which is part of
+    the model name, never the vector) are guaranteed to receive equal
+    model answers.  That superset property is what makes the raw vector
+    usable as an exact memo key ({!key}): replaying a stored outcome for
+    an identical vector is bit-identical to re-running the analytic
+    model.
+
+    Layout (all values as raw floats; booleans as 0/1):
+    {v
+      [0]      unroll factor           [1]  blocksize        [2] threads
+      [3..8]   flags: single_precision, pinned_memory, shared_mem,
+               gpu_intrinsics, zero_copy, reductions_removed
+      [9..21]  dynamic facts: calls, outer_trip, cpu_cycles_per_call,
+               flops_per_call, sfu_per_call, bytes_accessed_per_call,
+               bytes_in_per_call, bytes_out_per_call, inner_read_bytes,
+               regs_estimate, locals_count, gather_fraction,
+               gathered_footprint
+      [22..25] structure: outer_parallel, outer_has_reductions,
+               no_alias, flops_per_byte (clamped finite)
+      [26..36] ops_per_iter (fadd fmul fdiv sqrt exp_log trig power
+               int_ops loads stores cheap_math)
+      [37..47] hw_ops_per_iter (same order)
+      [48..55] loop-nest shape: n_inner_loops, n_innermost, n_parallel,
+               n_reduction, n_fully_unrollable, sum_iters_per_outer,
+               max_mean_trip, n_args
+    v} *)
+
+let dim = 56
+
+let b v = if v then 1.0 else 0.0
+
+(* Only the informational dims (arithmetic intensity) can be infinite
+   (zero-byte kernels); model-input dims are bounded reals far below the
+   cap, so clamping cannot merge two distinct model inputs. *)
+let finite v =
+  if Float.is_nan v then 0.0
+  else if v > 1e18 then 1e18
+  else if v < -1e18 then -1e18
+  else v
+
+let ops_fields (o : Analysis.Opcount.t) =
+  [
+    o.fadd;
+    o.fmul;
+    o.fdiv;
+    o.sqrt;
+    o.exp_log;
+    o.trig;
+    o.power;
+    o.int_ops;
+    o.loads;
+    o.stores;
+    o.cheap_math;
+  ]
+
+(** Bytes of indirectly accessed ("gathered") arrays — the same fold the
+    GPU and FPGA models price BRAM/shared-memory staging from. *)
+let gathered_footprint (f : Analysis.Features.t) =
+  List.fold_left
+    (fun acc (a : Analysis.Features.arg_feat) ->
+      if List.mem a.af_name f.gathered_args then acc + a.af_footprint else acc)
+    0 f.args
+
+(** The candidate's feature vector.  [unroll]/[blocksize]/[threads] are
+    the swept knob values (pass the design's own value for knobs not
+    under sweep). *)
+let extract ~(design : Codegen.Design.t) ~unroll ~blocksize ~threads
+    (f : Analysis.Features.t) : float array =
+  let fi = float_of_int in
+  let shape =
+    List.fold_left
+      (fun (n, inn, par, red, unr, iters, trip)
+           (l : Analysis.Features.inner_loop) ->
+        ( n + 1,
+          (inn + if l.il_innermost then 1 else 0),
+          (par + if l.il_parallel then 1 else 0),
+          (red + if l.il_has_reduction then 1 else 0),
+          (unr + if l.il_fully_unrollable then 1 else 0),
+          iters +. l.il_iters_per_outer,
+          Float.max trip l.il_mean_trip ))
+      (0, 0, 0, 0, 0, 0.0, 0.0)
+      f.inner_loops
+  in
+  let n_loops, n_inner, n_par, n_red, n_unr, sum_iters, max_trip = shape in
+  let v =
+    Array.of_list
+      ([
+         fi unroll;
+         fi blocksize;
+         fi threads;
+         b design.single_precision;
+         b design.pinned_memory;
+         b design.shared_mem;
+         b design.gpu_intrinsics;
+         b design.zero_copy;
+         b design.reductions_removed;
+         fi f.calls;
+         f.outer_trip;
+         f.cpu_cycles_per_call;
+         f.flops_per_call;
+         f.sfu_per_call;
+         f.bytes_accessed_per_call;
+         f.bytes_in_per_call;
+         f.bytes_out_per_call;
+         fi f.inner_read_bytes;
+         fi f.regs_estimate;
+         fi f.locals_count;
+         f.gather_fraction;
+         fi (gathered_footprint f);
+         b f.outer_parallel;
+         b f.outer_has_reductions;
+         b f.no_alias;
+         finite f.intensity.Analysis.Intensity.flops_per_byte;
+       ]
+      @ ops_fields f.ops_per_iter
+      @ ops_fields f.hw_ops_per_iter
+      @ [
+          fi n_loops;
+          fi n_inner;
+          fi n_par;
+          fi n_red;
+          fi n_unr;
+          sum_iters;
+          max_trip;
+          fi (List.length f.args);
+        ])
+  in
+  assert (Array.length v = dim);
+  v
+
+(** Exact memo key: the concatenated IEEE-754 bit patterns of the raw
+    vector.  Two candidates share a key iff every feature is
+    bit-identical — by the superset property above, iff the device
+    models would return identical answers. *)
+let key (x : float array) : string =
+  let buf = Bytes.create (8 * Array.length x) in
+  Array.iteri
+    (fun i v -> Bytes.set_int64_le buf (8 * i) (Int64.bits_of_float v))
+    x;
+  Bytes.unsafe_to_string buf

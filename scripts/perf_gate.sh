@@ -13,9 +13,12 @@
 #     K comparable (quick-scale, other-commit) history entries:
 #       interp.threaded.mcycles_per_s   >= 70% of median
 #       interp.bytecode.mcycles_per_s   >= 70% of median
+#       dse.simulate_call_reduction     >= 90% of median
 #       service.throughput_rps          >= 50% of median
 #       service.p99_ms                  <= 4x median
 #     (K = PSAFLOW_HISTORY_K, default 5, min 3.)
+#   - the guided-DSE simulate-call saving falls below its hard 10x
+#     floor (call counts are deterministic, so this is not noise).
 #
 # Fewer than 3 comparable history entries skips that metric's check
 # with a notice — a young history cannot block a merge.  After gating,
@@ -40,6 +43,18 @@ if grep -q '"outputs_identical": false' BENCH_psaflow.json; then
 fi
 grep -q '"outputs_identical": true' BENCH_psaflow.json \
   || { echo "FAIL: perf bench reports no output-identity checks"; exit 1; }
+
+# Guided DSE floor: the bench already asserted (via the dse section's
+# outputs_identical, covered above) that guided and exhaustive sweeps
+# picked identical winners on every benchmark; the warm guided pass must
+# also make at least 10x fewer simulate calls.  Call counts are
+# deterministic, so this is a hard floor, not a noisy measurement.
+DSE_REDUCTION=$(sed -n 's/.*"simulate_call_reduction": *\([0-9.]*\).*/\1/p' BENCH_psaflow.json | head -n1)
+[ -n "$DSE_REDUCTION" ] \
+  || { echo "FAIL: BENCH_psaflow.json reports no dse simulate_call_reduction"; exit 1; }
+awk "BEGIN { exit !($DSE_REDUCTION >= 10) }" \
+  || { echo "FAIL: guided DSE saves only ${DSE_REDUCTION}x simulate calls (floor 10x)"; exit 1; }
+echo "guided DSE: ${DSE_REDUCTION}x fewer simulate calls (floor 10x)"
 
 # Rolling-median regression gate (exit 1 on any GATE FAIL line).
 dune exec bench/main.exe -- gate-history --quick

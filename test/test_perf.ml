@@ -842,6 +842,146 @@ let vm_tests =
       QCheck_alcotest.to_alcotest vm_equivalence_prop;
     ]
 
+(* ================================================================== *)
+(* Surrogate-guided DSE = exhaustive DSE                               *)
+(* ================================================================== *)
+
+module Surrogate = Flow_surrogate.Surrogate
+
+(* Pin the surrogate configuration for [f]: fresh models, an explicit
+   enabled/topk override, and full restoration afterwards so the other
+   suites (which run flows with the surrogate in its default state) are
+   untouched. *)
+let with_surrogate ~enabled ?topk f =
+  Surrogate.reset ();
+  Surrogate.set_enabled (Some enabled);
+  Surrogate.set_topk topk;
+  Fun.protect
+    ~finally:(fun () ->
+      Surrogate.set_enabled None;
+      Surrogate.set_topk None;
+      Surrogate.reset ())
+    f
+
+let counter name = Flow_obs.Metrics.counter_value Flow_obs.Metrics.global name
+
+(* Every sweep of every device, on generated MiniC kernels: the guided
+   winner and the full trajectory must equal the exhaustive sweep's,
+   both on a cold model (where the explicit uncertain-fallback simulates
+   everything) and on a warm one (where only the top-k is fresh). *)
+let surrogate_winner_prop =
+  QCheck.Test.make ~count:15
+    ~name:"guided DSE winner = exhaustive on generated programs" program_arb
+    (fun src ->
+      let p = Minic.Parser.parse_program src in
+      match Psa.Std_flow.prepare_kernel p with
+      | exception Transforms.Extract.Not_extractable _ ->
+          (* no extractable kernel, hence no DSE to compare *)
+          true
+      | ex, kernel, _ ->
+      let features = Analysis.Features.analyze ex ~kernel in
+      let winners () =
+        let u =
+          Dse.Unroll_dse.run
+            (Feat_fixtures.design ~target:Codegen.Design.Fpga_oneapi
+               ~device_id:"arria10" ())
+            features
+        in
+        let b =
+          Dse.Blocksize_dse.run
+            (Feat_fixtures.design ~target:Codegen.Design.Gpu_hip
+               ~device_id:"gtx1080ti" ())
+            features
+        in
+        let t =
+          Dse.Threads_dse.run
+            (Feat_fixtures.design ~target:Codegen.Design.Cpu_openmp
+               ~device_id:"epyc7543" ())
+            features
+        in
+        ( (u.chosen_factor, u.synthesizable, u.steps),
+          (b.chosen_blocksize, b.steps),
+          (t.chosen_threads, t.steps) )
+      in
+      let exhaustive = with_surrogate ~enabled:false winners in
+      with_surrogate ~enabled:true (fun () ->
+          let f0 = counter "surrogate_fallbacks" in
+          let cold = winners () in
+          let cold_fallbacks = counter "surrogate_fallbacks" - f0 in
+          let warm = winners () in
+          let warm_fallbacks = counter "surrogate_fallbacks" - f0 - cold_fallbacks in
+          if cold <> exhaustive then
+            QCheck.Test.fail_report "cold guided sweep diverges";
+          if cold_fallbacks <> 3 then
+            QCheck.Test.fail_reportf
+              "cold model: expected every sweep to take the explicit \
+               uncertain-fallback (3), got %d"
+              cold_fallbacks;
+          if warm <> exhaustive then
+            QCheck.Test.fail_report "warm guided sweep diverges";
+          if warm_fallbacks <> 0 then
+            QCheck.Test.fail_reportf
+              "warm model: expected no fallback, got %d" warm_fallbacks;
+          true))
+
+(* Full-flow identity per benchmark: the surrogate knob and every top-k
+   width must be invisible in the flow's outcome; the warm top-1 pass
+   must also clear the >= 10x simulate-call saving the bench gates. *)
+let outcome_fingerprint (o : Psa.Std_flow.outcome) =
+  List.map
+    (fun (r : Devices.Simulate.result) ->
+      ( r.design.name,
+        r.design.unroll_factor,
+        r.design.blocksize,
+        r.design.num_threads,
+        r.seconds,
+        r.speedup,
+        r.feasible ))
+    o.results
+
+let check_surrogate_identity (b : Benchmarks.Bench_app.t) () =
+  let run () =
+    let c0 = counter "dse_simulate_calls" in
+    let fp =
+      outcome_fingerprint
+        (Psa.Std_flow.run_uninformed (Benchmarks.Bench_app.context b))
+    in
+    (fp, counter "dse_simulate_calls" - c0)
+  in
+  let off, off_calls = with_surrogate ~enabled:false run in
+  List.iter
+    (fun k ->
+      let (cold, _), (warm, warm_calls) =
+        with_surrogate ~enabled:true ~topk:k (fun () ->
+            let cold = run () in
+            let warm = run () in
+            (cold, warm))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "top-%d cold = exhaustive" k)
+        true (cold = off);
+      Alcotest.(check bool)
+        (Printf.sprintf "top-%d warm = exhaustive" k)
+        true (warm = off);
+      if k = 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf
+             "top-1 warm simulates >= 10x less (%d vs %d exhaustive calls)"
+             warm_calls off_calls)
+          true
+          (warm_calls * 10 <= off_calls))
+    [ 1; 4; 16 ]
+
+let surrogate_tests =
+  List.map
+    (fun (b : Benchmarks.Bench_app.t) ->
+      Alcotest.test_case
+        (b.id ^ " on/off x topk identity")
+        `Slow
+        (check_surrogate_identity b))
+    Benchmarks.Registry.all
+  @ [ QCheck_alcotest.to_alcotest surrogate_winner_prop ]
+
 let () =
   Alcotest.run "perf"
     [
@@ -870,4 +1010,5 @@ let () =
           Alcotest.test_case "uninformed flow fan-out" `Slow
             uninformed_parallel_identical;
         ] );
+      ("surrogate", surrogate_tests);
     ]
