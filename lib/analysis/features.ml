@@ -389,12 +389,22 @@ let of_fused (fp : Minic_interp.Fused_profile.t) ~kernel : t =
 (** Run the full target-independent analysis battery on the extracted
     kernel [kernel] of program [p] and assemble the feature vector: one
     shared fused profiling run, then a pure projection. *)
+(* Feature records are pure projections of the fused profile, so they
+   memoize per focused program key (program digest + loop ids + focus;
+   the workload size is baked into the program text).  The memo rides
+   the stage hierarchy: off under PSAFLOW_NO_MEMO, bypassed while the
+   global tracer records so traced runs keep their profile spans. *)
+let memo : t Flow_memo.Cache.t = Flow_memo.Cache.create ~name:"features" ()
+
 let analyze (p : Ast.program) ~kernel : t =
   Flow_obs.Trace.with_span ~cat:"analysis" "analysis.features"
     ~args:[ ("kernel", Flow_obs.Attr.String kernel) ]
   @@ fun () ->
   Flow_obs.Metrics.incr Flow_obs.Metrics.global "analysis_features";
-  of_fused (Minic_interp.Fused_profile.get ~focus:kernel p) ~kernel
+  Flow_memo.Cache.find_or_compute memo
+    ~key:
+      ("f:" ^ Digest.to_hex (Minic_interp.Profile_cache.key ~focus:kernel p))
+    (fun () -> of_fused (Minic_interp.Fused_profile.get ~focus:kernel p) ~kernel)
 
 (** Total single-thread CPU seconds of the hotspot over the whole run —
     the Fig. 5 baseline denominator. *)

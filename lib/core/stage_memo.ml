@@ -1,0 +1,77 @@
+(** Stage-level memoization of flow artifacts.
+
+    Typed {!Flow_memo.Cache} instances for the target-independent
+    prefix of the flow: parsed ASTs per source digest, extracted
+    kernels per (program digest, hotspot loop id), reduction-annotated
+    kernels per (program digest, kernel name).  Wired through
+    {!Std_flow}'s repository tasks and the service resolver so daemon
+    submissions that share a source — variant traffic differing only
+    in workload, budget or strategy — share the derived ASTs instead
+    of re-deriving them per request.
+
+    Sharing the AST *objects* (not just skipping the work) is what
+    makes the rest of the hierarchy effective: MiniC statement ids are
+    allocated from a process-global counter at parse/transform time
+    and participate in every downstream profile key, so two parses of
+    the same source never hit the same profile-cache entry.  With the
+    parse/extract/reduce artifacts memoized, a variant request reaches
+    the fused-profile stage with bit-identical keys and its
+    interpreter runs all hit.  The ASTs are immutable ([Minic.Ast]
+    has no mutable fields), so cross-domain sharing is safe.
+
+    Keys follow {!Minic_interp.Profile_cache.key}: a digest of the
+    pretty-printed program plus the pre-order loop statement ids —
+    loop ids are the only statement ids observable downstream (profile
+    statistics, "loop #N" log lines).  Failures (parse errors,
+    non-extractable hotspots) are never cached; error paths re-raise
+    and recompute exactly as without memoization.
+
+    All three caches follow the hierarchy-wide rules of {!Flow_memo}:
+    disabled by [PSAFLOW_NO_MEMO], bypassed while the global tracer
+    records (a traced run allocates fresh statement ids and records
+    the same span tree as an unmemoized run), bounded by
+    [PSAFLOW_MEMO_CAP], striped over [PSAFLOW_MEMO_SHARDS], and
+    counted in the global metrics registry as
+    [memo_ast_*]/[memo_extract_*]/[memo_reduce_*]. *)
+
+(** Content key of a program: digest of pretty-printed source plus
+    pre-order loop statement ids (see {!Minic_interp.Profile_cache.key}). *)
+let program_key (p : Minic.Ast.program) : string =
+  Digest.to_hex (Minic_interp.Profile_cache.key p)
+
+let parse_cache : Minic.Ast.program Flow_memo.Cache.t =
+  Flow_memo.Cache.create ~name:"ast" ()
+
+(** Parse MiniC source, memoized per source digest.  Every request for
+    the same source text observes the same program object — and
+    therefore the same statement ids. *)
+let parse (src : string) : Minic.Ast.program =
+  Flow_memo.Cache.find_or_compute parse_cache
+    ~key:("ast:" ^ Digest.to_hex (Digest.string src))
+    (fun () -> Minic.Parser.parse_program src)
+
+let extract_cache : Transforms.Extract.result Flow_memo.Cache.t =
+  Flow_memo.Cache.create ~name:"extract" ()
+
+(** {!Transforms.Extract.hotspot}, memoized per (program digest,
+    hotspot loop id). *)
+let extract (p : Minic.Ast.program) ~loop_sid : Transforms.Extract.result =
+  Flow_memo.Cache.find_or_compute extract_cache
+    ~key:(Printf.sprintf "x:%s:%d" (program_key p) loop_sid)
+    (fun () -> Transforms.Extract.hotspot p ~loop_sid)
+
+let reduce_cache : (Minic.Ast.program * int) Flow_memo.Cache.t =
+  Flow_memo.Cache.create ~name:"reduce" ()
+
+(** {!Transforms.Reduction.remove_array_dependencies}, memoized per
+    (program digest, kernel name). *)
+let reduce (p : Minic.Ast.program) ~kernel : Minic.Ast.program * int =
+  Flow_memo.Cache.find_or_compute reduce_cache
+    ~key:(Printf.sprintf "r:%s:%s" (program_key p) kernel)
+    (fun () -> Transforms.Reduction.remove_array_dependencies p ~kernel)
+
+(** Drop all parse/extract/reduce entries (tests). *)
+let clear () =
+  Flow_memo.Cache.clear parse_cache;
+  Flow_memo.Cache.clear extract_cache;
+  Flow_memo.Cache.clear reduce_cache

@@ -25,11 +25,8 @@ let prepare_kernel (p : Minic.Ast.program) =
   match Analysis.Hotspot.detect p with
   | None -> raise (Flow_error "no hotspot loop found")
   | Some h ->
-      let ex = Transforms.Extract.hotspot p ~loop_sid:h.loop_sid in
-      let program, _ =
-        Transforms.Reduction.remove_array_dependencies ex.program
-          ~kernel:ex.kernel_name
-      in
+      let ex = Stage_memo.extract p ~loop_sid:h.loop_sid in
+      let program, _ = Stage_memo.reduce ex.program ~kernel:ex.kernel_name in
       (program, ex.kernel_name, h)
 
 (** Like {!prepare_kernel} with the hotspot already known — used to
@@ -46,13 +43,8 @@ let prepare_kernel_at (p : Minic.Ast.program) ~(hotspot : Analysis.Hotspot.t) =
         (Transforms.Extract.Not_extractable
            (Printf.sprintf "hotspot ordinal %d out of range" hotspot.ordinal))
   | Some m ->
-      let ex =
-        Transforms.Extract.hotspot p ~loop_sid:m.Artisan.Query.stmt.sid
-      in
-      let program, _ =
-        Transforms.Reduction.remove_array_dependencies ex.program
-          ~kernel:ex.kernel_name
-      in
+      let ex = Stage_memo.extract p ~loop_sid:m.Artisan.Query.stmt.sid in
+      let program, _ = Stage_memo.reduce ex.program ~kernel:ex.kernel_name in
       (program, ex.kernel_name)
 
 (** Compute (and cache) kernel features, extrapolating to the evaluation
@@ -157,7 +149,7 @@ module Repository = struct
         match ctx.hotspot with
         | None -> raise (Flow_error "hotspot detection has not run")
         | Some h ->
-            let ex = Transforms.Extract.hotspot ctx.program ~loop_sid:h.loop_sid in
+            let ex = Stage_memo.extract ctx.program ~loop_sid:h.loop_sid in
             logf
               { ctx with program = ex.program; kernel = Some ex.kernel_name }
               "extracted kernel %s(%s)" ex.kernel_name
@@ -166,9 +158,7 @@ module Repository = struct
   let remove_array_dependency =
     Task.make "Remove Array += Dependency" Task.Transform (fun ctx ->
         let kernel = kernel_exn ctx in
-        let program, n =
-          Transforms.Reduction.remove_array_dependencies ctx.program ~kernel
-        in
+        let program, n = Stage_memo.reduce ctx.program ~kernel in
         logf { ctx with program } "%d loop(s) annotated for reduction removal" n)
 
   let pointer_analysis =

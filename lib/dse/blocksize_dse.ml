@@ -32,8 +32,8 @@ type result = {
 
 let candidate_blocksizes = [ 32; 64; 96; 128; 192; 256; 384; 512; 768; 1024 ]
 
-(** Run the DSE for [design] on its GPU device. *)
-let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+let run_uncached (design : Codegen.Design.t) (features : Analysis.Features.t) :
+    result =
   let gpu = Devices.Spec.find_gpu design.device_id in
   let candidates =
     List.filter (fun bs -> bs <= gpu.max_blocksize) candidate_blocksizes
@@ -165,3 +165,47 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
     steps;
     decision;
   }
+
+(* Sweep memo: knob choice, trajectory and provenance cached; the
+   design is rebuilt from the incoming design with the same setter the
+   sweep applies (see {!Sweep_memo}). *)
+type cached = {
+  c_blocksize : int;
+  c_steps : step list;
+  c_decision : Flow_obs.Provenance.decision option;
+}
+
+let cache : cached Flow_memo.Cache.t =
+  Sweep_memo.create ~name:"dse_blocksize" ()
+
+(** Run the DSE for [design] on its GPU device (memoized per sweep
+    key — see {!Sweep_memo}). *)
+let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+  let gpu = Devices.Spec.find_gpu design.device_id in
+  let candidates =
+    List.filter (fun bs -> bs <= gpu.max_blocksize) candidate_blocksizes
+  in
+  let fresh = ref None in
+  let e =
+    Flow_memo.Cache.find_or_compute cache
+      ~key:
+        (Sweep_memo.key ~sweep:"blocksize" ~design features
+           ~candidates:(String.concat "," (List.map string_of_int candidates)))
+      (fun () ->
+        let r = run_uncached design features in
+        fresh := Some r;
+        {
+          c_blocksize = r.chosen_blocksize;
+          c_steps = r.steps;
+          c_decision = r.decision;
+        })
+  in
+  match !fresh with
+  | Some r -> r
+  | None ->
+      {
+        design = Codegen.Hip_gen.set_blocksize design e.c_blocksize;
+        chosen_blocksize = e.c_blocksize;
+        steps = e.c_steps;
+        decision = e.c_decision;
+      }

@@ -26,16 +26,18 @@ type result = {
       (** surrogate sweep provenance; [None] on exhaustive sweeps *)
 }
 
-(** Run the DSE for [design] on its CPU device. *)
-let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
-  let cpu = Devices.Spec.find_cpu design.device_id in
-  let candidates =
-    let rec doubling n acc =
-      if n >= cpu.cores then List.rev (cpu.cores :: acc)
-      else doubling (n * 2) (n :: acc)
-    in
-    doubling 1 []
+(* Doubling ladder 1, 2, 4, ... capped at the device's core count. *)
+let candidate_threads (cpu : Devices.Spec.cpu) =
+  let rec doubling n acc =
+    if n >= cpu.cores then List.rev (cpu.cores :: acc)
+    else doubling (n * 2) (n :: acc)
   in
+  doubling 1 []
+
+let run_uncached (design : Codegen.Design.t) (features : Analysis.Features.t) :
+    result =
+  let cpu = Devices.Spec.find_cpu design.device_id in
+  let candidates = candidate_threads cpu in
   let mname = "threads:" ^ design.device_id in
   let eval ?x t =
     Flow_obs.Trace.with_span ~cat:"dse" "dse.threads_candidate"
@@ -138,3 +140,45 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
     steps;
     decision;
   }
+
+(* Sweep memo: knob choice, trajectory and provenance cached; the
+   design is rebuilt from the incoming design with the same setter the
+   sweep applies (see {!Sweep_memo}). *)
+type cached = {
+  c_threads : int;
+  c_steps : step list;
+  c_decision : Flow_obs.Provenance.decision option;
+}
+
+let cache : cached Flow_memo.Cache.t = Sweep_memo.create ~name:"dse_threads" ()
+
+(** Run the DSE for [design] on its CPU device (memoized per sweep
+    key — see {!Sweep_memo}). *)
+let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+  let cpu = Devices.Spec.find_cpu design.device_id in
+  let fresh = ref None in
+  let e =
+    Flow_memo.Cache.find_or_compute cache
+      ~key:
+        (Sweep_memo.key ~sweep:"threads" ~design features
+           ~candidates:
+             (String.concat ","
+                (List.map string_of_int (candidate_threads cpu))))
+      (fun () ->
+        let r = run_uncached design features in
+        fresh := Some r;
+        {
+          c_threads = r.chosen_threads;
+          c_steps = r.steps;
+          c_decision = r.decision;
+        })
+  in
+  match !fresh with
+  | Some r -> r
+  | None ->
+      {
+        design = Codegen.Openmp_gen.set_num_threads design e.c_threads;
+        chosen_threads = e.c_threads;
+        steps = e.c_steps;
+        decision = e.c_decision;
+      }

@@ -38,8 +38,16 @@ type result = {
 
 let max_factor = 1 lsl 16
 
-(** Run the DSE for [design] on its FPGA device. *)
-let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+(* The doubling candidate ladder 1, 2, 4, ... up to one past
+   [max_factor] — static, but part of the sweep-memo key. *)
+let factors =
+  let rec go n acc =
+    if n > max_factor then List.rev (n :: acc) else go (n * 2) (n :: acc)
+  in
+  go 1 []
+
+let run_uncached (design : Codegen.Design.t) (features : Analysis.Features.t) :
+    result =
   let fpga = Devices.Spec.find_fpga design.device_id in
   let mname = "unroll:" ^ design.device_id in
   let eval ?x n =
@@ -82,12 +90,6 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
      doubling-until-overmap walk is reconstructed over the results.
      [chosen_factor] and [steps] are therefore bit-identical to the
      incremental exploration. *)
-  let factors =
-    let rec go n acc =
-      if n > max_factor then List.rev (n :: acc) else go (n * 2) (n :: acc)
-    in
-    go 1 []
-  in
   let guided = Surrogate.active () in
   let evaluated, plan_info =
     if not guided then (Pool.map (fun n -> (n, eval n)) factors, None)
@@ -205,4 +207,50 @@ let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
         synthesizable = fits;
         steps = List.rev steps;
         decision = decision ~chosen:1 ~synthesizable:fits;
+      }
+
+(* Sweep memo: the knob choice, trajectory and provenance are cached;
+   the design is always rebuilt from the *incoming* design with the
+   same setter the sweep applies.  Designs reach this DSE with
+   [synthesizable = true] (nothing earlier in the flow clears it), so
+   re-asserting the cached flag reproduces both exit branches of
+   [run_uncached] exactly. *)
+type cached = {
+  c_factor : int;
+  c_synth : bool;
+  c_steps : step list;
+  c_decision : Flow_obs.Provenance.decision option;
+}
+
+let cache : cached Flow_memo.Cache.t = Sweep_memo.create ~name:"dse_unroll" ()
+
+(** Run the DSE for [design] on its FPGA device (memoized per sweep
+    key — see {!Sweep_memo}). *)
+let run (design : Codegen.Design.t) (features : Analysis.Features.t) : result =
+  let fresh = ref None in
+  let e =
+    Flow_memo.Cache.find_or_compute cache
+      ~key:
+        (Sweep_memo.key ~sweep:"unroll" ~design features
+           ~candidates:(String.concat "," (List.map string_of_int factors)))
+      (fun () ->
+        let r = run_uncached design features in
+        fresh := Some r;
+        {
+          c_factor = r.chosen_factor;
+          c_synth = r.synthesizable;
+          c_steps = r.steps;
+          c_decision = r.decision;
+        })
+  in
+  match !fresh with
+  | Some r -> r
+  | None ->
+      let d = Codegen.Oneapi_gen.set_unroll_factor design e.c_factor in
+      {
+        design = { d with Codegen.Design.synthesizable = e.c_synth };
+        chosen_factor = e.c_factor;
+        synthesizable = e.c_synth;
+        steps = e.c_steps;
+        decision = e.c_decision;
       }

@@ -2618,6 +2618,16 @@ let compile ?vm_profile p : compiled =
         ?vm_hot:(Option.map Bytecode.hot_of_profile vm_profile)
         cp)
 
+(** Force every lazily compiled engine variant.  [Lazy.force] is not
+    safe under concurrent domains, so a [compiled] value that will be
+    shared across domains (the compile-stage memo in
+    {!Profile_cache}) must have its variants forced eagerly by the
+    publishing domain before the value becomes visible to others. *)
+let force_engines (c : compiled) : unit =
+  ignore (Lazy.force c.plain);
+  ignore (Lazy.force c.tracking);
+  ignore (Lazy.force c.vm)
+
 let make_state ?focus ~fuel (cp : Resolve.t) =
   let focus_idx =
     match focus with

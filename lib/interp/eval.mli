@@ -63,6 +63,13 @@ val compile : ?vm_profile:Profile.t -> Minic.Ast.program -> compiled
       hot) *)
 val compile_resolved : ?vm_hot:(int -> bool) -> Resolve.t -> compiled
 
+(** Force every lazily compiled engine variant (threaded plain,
+    threaded tracking, register bytecode).  [Lazy.force] is not safe
+    under concurrent domains, so a [compiled] value shared across
+    domains (the compile-stage memo) must be forced eagerly by the
+    publishing domain. *)
+val force_engines : compiled -> unit
+
 (** Run an already-compiled program from [main].  Equivalent to {!run}
     on the source program.  Dispatches to {!run_vm} unless
     [PSAFLOW_NO_VM] (or {!set_vm_enabled}[ false]) selects

@@ -1,10 +1,15 @@
-(** Shared profile cache.
+(** Shared profile cache — the fused-profile stage of the memo
+    hierarchy.
 
     Every dynamic design-flow task (hotspot detection, trip counts, data
     in/out, alias analysis, feature extraction) observes a program
     through one fused profiling execution ({!Fused_profile}); this
     module memoizes those runs so all consumers of the same request
-    share one execution process-wide.
+    share one execution process-wide.  Since the stage-memo hierarchy
+    ({!Flow_memo}) made parse/extract/reduce artifacts stable across
+    requests, the same entries are also shared across daemon
+    submissions: a variant request (same source, different budget or
+    strategy) re-uses the profile runs of the first request.
 
     Keying.  The key is exactly the fused request [(program, workload,
     focus)]: a digest of the pretty-printed source, the pre-order list
@@ -20,77 +25,95 @@
     Entries are returned by reference; treat cached {!Eval.run} values
     (and their profiles) as read-only.
 
-    The cache is a process-wide table guarded by a mutex so DSE worker
-    domains can share it; the interpreter run itself executes outside
-    the lock (a racing miss may compute the same entry twice, which is
-    harmless because runs are deterministic).
-
-    Capacity is bounded ([PSAFLOW_CACHE_CAP], default 512 entries) with
-    insertion-order eviction — within one flow the hot entries are the
-    most recent ones, so FIFO loses almost nothing over LRU and needs no
-    per-hit bookkeeping.  Hit/miss/eviction counts are mirrored into the
+    The store is a single-shard {!Flow_memo.Cache}: misses are
+    single-flight (concurrent domains asking for the same run block on
+    one execution instead of duplicating it) and eviction is true LRU —
+    every hit re-stamps the entry.  Capacity is bounded by
+    [PSAFLOW_MEMO_CAP] (default 512 entries); the pre-hierarchy
+    [PSAFLOW_CACHE_CAP] and [PSAFLOW_NO_CACHE] knobs remain as
+    deprecated aliases with a once-per-process warning.  This stage is
+    exempt from [PSAFLOW_NO_MEMO] (it predates the hierarchy, and
+    disabling it would not restore pre-memoization behavior — it would
+    regress it).  Hit/miss/eviction counts are mirrored into the
     process-wide metrics registry ({!Flow_obs.Metrics.global}) as
     [profile_cache_hits]/[profile_cache_misses]/
     [profile_cache_evictions], and every cache consultation is a trace
-    span carrying its [hit] outcome. *)
+    span carrying its [hit] outcome.
 
-let lock = Mutex.create ()
-let table : (string, Eval.run) Hashtbl.t = Hashtbl.create 64
-let insertion_order : string Queue.t = Queue.create ()
-
-type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
-
-let counters = { hits = 0; misses = 0; evictions = 0 }
+    A second cache level backs the misses: compiled programs (slot IR
+    resolved, optimized, all engine variants forced) are memoized per
+    (program digest, optimizer fingerprint) so a profile-stage miss
+    that only differs in [focus] — or arrives after an eviction — skips
+    resolve/optimize/lower and pays only the interpreter run.  The
+    compile stage follows the normal hierarchy rules: it honors
+    [PSAFLOW_NO_MEMO] and bypasses itself under the global tracer so
+    traced runs keep their [interp.compile] spans. *)
 
 let default_capacity = 512
 
-let capacity =
-  ref
-    (Flow_obs.Env.int ~name:"PSAFLOW_CACHE_CAP" ~default:default_capacity
-       ~min:1 ())
+let initial_capacity =
+  match Sys.getenv_opt "PSAFLOW_CACHE_CAP" with
+  | Some _ ->
+      Flow_obs.Env.warn_once "PSAFLOW_CACHE_CAP#deprecated"
+        "PSAFLOW_CACHE_CAP is deprecated; use PSAFLOW_MEMO_CAP (still \
+         honoring it for the profile stage)";
+      Flow_obs.Env.int ~name:"PSAFLOW_CACHE_CAP" ~default:default_capacity
+        ~min:1 ()
+  | None -> Flow_memo.env_capacity ()
 
-(** Change the entry bound (also settable via [PSAFLOW_CACHE_CAP]).
-    Takes effect on the next insertion. *)
+let initially_enabled =
+  match Sys.getenv_opt "PSAFLOW_NO_CACHE" with
+  | Some _ ->
+      Flow_obs.Env.warn_once "PSAFLOW_NO_CACHE#deprecated"
+        "PSAFLOW_NO_CACHE is deprecated; use PSAFLOW_NO_MEMO to disable \
+         the stage-memo hierarchy (PSAFLOW_NO_CACHE still disables the \
+         profile stage alone)";
+      not (Flow_obs.Env.flag ~name:"PSAFLOW_NO_CACHE" ())
+  | None -> true
+
+(* Single shard on purpose: the interpreter run happens outside the
+   shard lock, so striping buys nothing here, and one shard keeps the
+   LRU eviction order (and the eviction counter) globally exact — the
+   accounting the capacity tests pin down. *)
+let cache : Eval.run Flow_memo.Cache.t =
+  Flow_memo.Cache.create ~name:"profile" ~metric_prefix:"profile_cache"
+    ~cap:initial_capacity ~shards:1 ~trace_bypass:false ~no_memo_exempt:true
+    ()
+
+let () = Flow_memo.Cache.set_enabled cache initially_enabled
+
+let compile_cache : Eval.compiled Flow_memo.Cache.t =
+  Flow_memo.Cache.create ~name:"compile" ()
+
+(** Change the profile-stage entry bound (also settable via
+    [PSAFLOW_MEMO_CAP], or the deprecated [PSAFLOW_CACHE_CAP]).  Takes
+    effect on the next insertion. *)
 let set_capacity c =
   if c < 1 then invalid_arg "Profile_cache.set_capacity: capacity must be >= 1";
-  capacity := c
-
-let enabled =
-  ref
-    (match Sys.getenv_opt "PSAFLOW_NO_CACHE" with
-    | Some ("1" | "true" | "yes") -> false
-    | _ -> true)
+  Flow_memo.Cache.set_capacity cache c
 
 (** Turn the cache off (analyses fall back to fresh runs) or back on.
-    Also controlled by the [PSAFLOW_NO_CACHE] env var. *)
-let set_enabled b = enabled := b
+    Also controlled by the deprecated [PSAFLOW_NO_CACHE] env var. *)
+let set_enabled b = Flow_memo.Cache.set_enabled cache b
 
-let with_lock f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-
-(** Drop all entries (keeps the hit/miss/eviction counters). *)
+(** Drop all entries — profile runs and memoized compiles — keeping
+    the hit/miss/eviction counters. *)
 let clear () =
-  with_lock (fun () ->
-      Hashtbl.reset table;
-      Queue.clear insertion_order)
+  Flow_memo.Cache.clear cache;
+  Flow_memo.Cache.clear compile_cache
 
 type snapshot = { hits : int; misses : int; evictions : int }
 
-(** Cumulative counts since start or {!reset_stats}. *)
+(** Cumulative profile-stage counts since start or {!reset_stats}. *)
 let stats () =
-  with_lock (fun () ->
-      {
-        hits = counters.hits;
-        misses = counters.misses;
-        evictions = counters.evictions;
-      })
+  let s = Flow_memo.Cache.stats cache in
+  {
+    hits = s.Flow_memo.Cache.hits;
+    misses = s.Flow_memo.Cache.misses;
+    evictions = s.Flow_memo.Cache.evictions;
+  }
 
-let reset_stats () =
-  with_lock (fun () ->
-      counters.hits <- 0;
-      counters.misses <- 0;
-      counters.evictions <- 0)
+let reset_stats () = Flow_memo.Cache.reset_stats cache
 
 let key ?focus (p : Minic.Ast.program) =
   let buf = Buffer.create 4096 in
@@ -111,52 +134,28 @@ let key ?focus (p : Minic.Ast.program) =
   | None -> ());
   Digest.string (Buffer.contents buf)
 
-let gincr name = Flow_obs.Metrics.incr Flow_obs.Metrics.global name
-
-(* Keep the table within [capacity] entries, insertion-order eviction.
-   Keys in the queue may already have been dropped by {!clear}; those
-   are skipped without counting. *)
-let evict_excess_locked () =
-  while Hashtbl.length table > !capacity && not (Queue.is_empty insertion_order) do
-    let oldest = Queue.pop insertion_order in
-    if Hashtbl.mem table oldest then begin
-      Hashtbl.remove table oldest;
-      counters.evictions <- counters.evictions + 1;
-      gincr "profile_cache_evictions"
-    end
-  done
+(** Like {!Eval.compile}, but memoized per (program digest, optimizer
+    fingerprint), with every engine variant forced so the value is
+    safe to share across domains.  Only the no-[vm_profile] compile is
+    cacheable — exactly the one {!Eval.run} performs. *)
+let compile (p : Minic.Ast.program) : Eval.compiled =
+  let k =
+    Printf.sprintf "%s|opt=%b" (Digest.to_hex (key p)) (Opt.is_enabled ())
+  in
+  Flow_memo.Cache.find_or_compute compile_cache ~key:k (fun () ->
+      let c = Eval.compile p in
+      Eval.force_engines c;
+      c)
 
 (** Like {!Eval.run}, but memoized.  Only the default fuel budget is
     cacheable; callers that restrict fuel must use {!Eval.run}
     directly. *)
 let run ?focus (p : Minic.Ast.program) : Eval.run =
-  if not !enabled then Eval.run ?focus p
+  if not (Flow_memo.Cache.active cache) then Eval.run ?focus p
   else
     Flow_obs.Trace.with_span ~cat:"interp" "profile_cache.run" @@ fun () ->
     let k = key ?focus p in
-    let cached =
-      with_lock (fun () ->
-          match Hashtbl.find_opt table k with
-          | Some r ->
-              counters.hits <- counters.hits + 1;
-              Some r
-          | None ->
-              counters.misses <- counters.misses + 1;
-              None)
-    in
-    match cached with
-    | Some r ->
-        gincr "profile_cache_hits";
-        Flow_obs.Trace.add_args [ ("hit", Flow_obs.Attr.Bool true) ];
-        r
-    | None ->
-        gincr "profile_cache_misses";
-        Flow_obs.Trace.add_args [ ("hit", Flow_obs.Attr.Bool false) ];
-        let r = Eval.run ?focus p in
-        with_lock (fun () ->
-            if not (Hashtbl.mem table k) then begin
-              Hashtbl.add table k r;
-              Queue.push k insertion_order;
-              evict_excess_locked ()
-            end);
-        r
+    Flow_memo.Cache.find_or_compute cache ~key:k
+      ~on:(fun hit ->
+        Flow_obs.Trace.add_args [ ("hit", Flow_obs.Attr.Bool hit) ])
+      (fun () -> Eval.run_compiled ?focus (compile p))

@@ -187,7 +187,11 @@ let resolve (s : Protocol.submission) : (resolved, Protocol.error_kind) result =
                    ?budget:s.budget app))
       | exception Invalid_argument _ -> Error (Protocol.Unknown_benchmark id))
   | Protocol.Inline src -> (
-      match Minic.Parser.parse_program src with
+      (* validation and context construction share one memoized parse:
+         variant submissions of the same source observe the same AST
+         objects (and statement ids), which is what lets every
+         downstream stage cache hit across requests *)
+      match Psa.Stage_memo.parse src with
       | exception Minic.Lexer.Lex_error (m, loc) ->
           Error
             (Protocol.Minic_parse_error
@@ -208,4 +212,4 @@ let resolve (s : Protocol.submission) : (resolved, Protocol.error_kind) result =
                    (fun () ->
                      Psa.Context.make ~benchmark:"inline"
                        ~x_threshold:s.x_threshold ?budget:s.budget
-                       (Minic.Parser.parse_program src)))))
+                       (Psa.Stage_memo.parse src)))))

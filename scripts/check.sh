@@ -114,13 +114,33 @@ grep -q cached "$TMP/disp2.txt" \
 diff "$TMP/direct.txt" "$TMP/svc2.txt" \
   || { echo "FAIL: cached report diverges"; exit 1; }
 
+# variant resubmission: same benchmark, different strategy — a store
+# miss (fresh job), but the stage memo must serve every
+# interpreter-level artifact, so the engine's interp_runs counter may
+# not move
+"$PSAFLOW" svc-metrics --socket "$SOCK" >"$TMP/metrics0.json"
+RUNS1=$(sed -n 's/.*"interp_runs": *\([0-9]*\).*/\1/p' "$TMP/metrics0.json" | head -n1)
+[ -n "$RUNS1" ] \
+  || { echo "FAIL: svc-metrics reports no interp_runs"; exit 1; }
+"$PSAFLOW" submit adpredictor --strategy model_perf --wait --socket "$SOCK" \
+  >/dev/null 2>"$TMP/disp3.txt"
+grep -q fresh "$TMP/disp3.txt" \
+  || { echo "FAIL: variant submission (new strategy) should be a store miss"; exit 1; }
 "$PSAFLOW" svc-metrics --socket "$SOCK" >"$TMP/metrics.json"
+RUNS2=$(sed -n 's/.*"interp_runs": *\([0-9]*\).*/\1/p' "$TMP/metrics.json" | head -n1)
+[ "$RUNS1" = "$RUNS2" ] \
+  || { echo "FAIL: variant resubmission re-ran the interpreter ($RUNS1 -> $RUNS2)"; exit 1; }
+echo "variant resubmission: fresh job, interp_runs unchanged at $RUNS2"
 grep -q jobs_completed "$TMP/metrics.json" \
   || { echo "FAIL: svc-metrics missing jobs_completed"; exit 1; }
 grep -q '"engine"' "$TMP/metrics.json" \
   || { echo "FAIL: svc-metrics missing engine registry"; exit 1; }
 grep -q profile_cache "$TMP/metrics.json" \
   || { echo "FAIL: engine registry missing profile-cache counters"; exit 1; }
+for m in memo_ast_hits memo_extract_hits memo_features_hits; do
+  grep -q "$m" "$TMP/metrics.json" \
+    || { echo "FAIL: engine registry missing stage-memo counter $m"; exit 1; }
+done
 grep -q dse_simulate_calls "$TMP/metrics.json" \
   || { echo "FAIL: engine registry missing dse_simulate_calls"; exit 1; }
 grep -q surrogate_predictions "$TMP/metrics.json" \

@@ -5,6 +5,12 @@
 let cache = Minic_interp.Profile_cache.clear
 let set_cache = Minic_interp.Profile_cache.set_enabled
 
+(* This binary measures sweep internals (simulate-call counts, explicit
+   surrogate fallbacks); the cross-request sweep memo would serve
+   repeated sweeps from cache and zero those counters out.  The memo's
+   own behavior is covered by test_memo. *)
+let () = Dse.Sweep_memo.set_enabled false
+
 let with_cache_off f =
   cache ();
   set_cache false;
